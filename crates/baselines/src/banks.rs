@@ -1,0 +1,379 @@
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+use ci_graph::{Graph, NodeId};
+use ci_rwmp::Jtt;
+
+/// BANKS configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BanksConfig {
+    /// Exponent λ combining the node score into the edge score
+    /// (`score = E · N^λ`; the BANKS paper suggests small values).
+    pub lambda: f64,
+    /// Number of answers the backward expanding search emits.
+    pub max_answers: usize,
+    /// Hop cap per backward iterator (keeps the search bounded).
+    pub max_hops: u32,
+}
+
+impl Default for BanksConfig {
+    fn default() -> Self {
+        BanksConfig {
+            lambda: 0.2,
+            max_answers: 20,
+            max_hops: 4,
+        }
+    }
+}
+
+/// Node prestige values for BANKS: normalized logarithm of the in-degree
+/// (BANKS treats well-referenced tuples as prestigious).
+#[derive(Debug, Clone)]
+pub struct BanksPrestige {
+    values: Vec<f64>,
+}
+
+impl BanksPrestige {
+    /// Computes prestige for every node of the graph.
+    pub fn compute(graph: &Graph) -> Self {
+        // In-degree equals out-degree in our bidirectional construction;
+        // counting incoming edges explicitly keeps this robust to future
+        // asymmetric graphs.
+        let mut indeg = vec![0u32; graph.node_count()];
+        for v in graph.nodes() {
+            for e in graph.edges(v) {
+                indeg[e.to.idx()] += 1;
+            }
+        }
+        let max = indeg.iter().copied().max().unwrap_or(0).max(1) as f64;
+        let norm = (1.0 + max).ln();
+        BanksPrestige {
+            values: indeg
+                .iter()
+                .map(|&d| (1.0 + d as f64).ln() / norm)
+                .collect(),
+        }
+    }
+
+    /// Prestige of one node, in `[0, 1]`.
+    pub fn get(&self, v: NodeId) -> f64 {
+        self.values[v.idx()]
+    }
+}
+
+/// The BANKS ranking function as described in §II-B.2 of the CI-Rank
+/// paper: the overall tree score combines
+///
+/// * the node score — the average prestige of the root and the leaf
+///   (keyword) nodes; intermediate free nodes are ignored, which is exactly
+///   the weakness the "Bloom Wood Mortensen" example exposes;
+/// * the edge score — `1 / (1 + Σ_e w_BANKS(e))`, where the BANKS edge
+///   weight is the reciprocal of our connection strength (strong
+///   connections are cheap to cross).
+///
+/// `root` picks which tree node acts as the BANKS answer root; leaves are
+/// the tree's degree-≤1 nodes.
+pub fn banks_score(
+    graph: &Graph,
+    prestige: &BanksPrestige,
+    tree: &Jtt,
+    root: usize,
+    lambda: f64,
+) -> f64 {
+    assert!(root < tree.size(), "root position out of range");
+    let mut node_positions: Vec<usize> = tree.leaves();
+    if !node_positions.contains(&root) {
+        node_positions.push(root);
+    }
+    let node_score: f64 = node_positions
+        .iter()
+        .map(|&p| prestige.get(tree.node(p)))
+        .sum::<f64>()
+        / node_positions.len() as f64;
+
+    let edge_sum: f64 = tree
+        .edges()
+        .iter()
+        .map(|&(a, b)| {
+            let (u, v) = (tree.node(a), tree.node(b));
+            let strength = graph
+                .edge_weight(u, v)
+                .into_iter()
+                .chain(graph.edge_weight(v, u))
+                .fold(0.0f64, f64::max);
+            1.0 / strength.max(f64::MIN_POSITIVE)
+        })
+        .sum();
+    let edge_score = 1.0 / (1.0 + edge_sum);
+    edge_score * node_score.max(f64::MIN_POSITIVE).powf(lambda)
+}
+
+#[derive(PartialEq)]
+struct IterEntry {
+    cost: f64,
+    node: u32,
+    source: u32,
+}
+impl Eq for IterEntry {}
+impl Ord for IterEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .cost
+            .total_cmp(&self.cost)
+            .then_with(|| other.node.cmp(&self.node))
+            .then_with(|| other.source.cmp(&self.source))
+    }
+}
+impl PartialOrd for IterEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The BANKS *backward expanding search*: single-source shortest-path
+/// iterators run backwards from every matcher; whenever some node has been
+/// reached from at least one matcher of every keyword, the union of the
+/// reaching paths (rooted at that node) is emitted as an answer.
+///
+/// `matchers[k]` lists the matcher nodes of keyword `k`. Answers are
+/// deduplicated by tree identity and returned in emission order (roughly
+/// increasing total path cost — BANKS's approximation of best-first).
+pub fn banks_search(
+    graph: &Graph,
+    matchers: &[Vec<NodeId>],
+    cfg: &BanksConfig,
+) -> Vec<(Jtt, usize)> {
+    // Per source matcher: best-known path (cost, predecessor) per node.
+    let mut best: HashMap<(u32, u32), (f64, u32)> = HashMap::new();
+    let mut hops: HashMap<(u32, u32), u32> = HashMap::new();
+    let mut heap = BinaryHeap::new();
+    let mut keyword_of: HashMap<u32, Vec<usize>> = HashMap::new();
+    for (k, list) in matchers.iter().enumerate() {
+        for &m in list {
+            keyword_of.entry(m.0).or_default().push(k);
+            best.insert((m.0, m.0), (0.0, m.0));
+            hops.insert((m.0, m.0), 0);
+            heap.push(IterEntry { cost: 0.0, node: m.0, source: m.0 });
+        }
+    }
+    // node -> reached sources.
+    let mut reached: HashMap<u32, Vec<u32>> = HashMap::new();
+    let mut answers: Vec<(Jtt, usize)> = Vec::new();
+    let mut seen_answers = std::collections::HashSet::new();
+
+    while let Some(IterEntry { cost, node, source }) = heap.pop() {
+        if answers.len() >= cfg.max_answers {
+            break;
+        }
+        match best.get(&(source, node)) {
+            Some(&(c, _)) if cost > c => continue,
+            None => continue,
+            _ => {}
+        }
+        let reach = reached.entry(node).or_default();
+        if !reach.contains(&source) {
+            reach.push(source);
+        }
+        // Does `node` now see every keyword?
+        let covered = (0..matchers.len()).all(|k| {
+            reach
+                .iter()
+                .any(|&s| keyword_of.get(&s).map(|ks| ks.contains(&k)).unwrap_or(false))
+        });
+        if covered {
+            if let Some(tree) = assemble(node, reach, &best) {
+                let key = tree.canonical_key();
+                if seen_answers.insert(key) {
+                    let root_pos = tree.position(NodeId(node)).expect("root in tree");
+                    answers.push((tree, root_pos));
+                }
+            }
+        }
+        // Expand backwards: an edge u → node means u can reach node.
+        let h = hops.get(&(source, node)).copied().unwrap_or(0);
+        if h >= cfg.max_hops {
+            continue;
+        }
+        for u in graph.neighbors(NodeId(node)) {
+            let w = graph
+                .edge_weight(u, NodeId(node))
+                .expect("neighbor edge exists");
+            let step = 1.0 / w.max(f64::MIN_POSITIVE);
+            let nc = cost + step;
+            let better = match best.get(&(source, u.0)) {
+                None => true,
+                Some(&(c, _)) => nc < c,
+            };
+            if better {
+                best.insert((source, u.0), (nc, node));
+                hops.insert((source, u.0), h + 1);
+                heap.push(IterEntry { cost: nc, node: u.0, source });
+            }
+        }
+    }
+    answers
+}
+
+/// Rebuilds the answer tree rooted at `root` from the per-source
+/// predecessor maps. Returns `None` when the path union is inconsistent
+/// (shared nodes with conflicting predecessors → cycle).
+fn assemble(
+    root: u32,
+    sources: &[u32],
+    best: &HashMap<(u32, u32), (f64, u32)>,
+) -> Option<Jtt> {
+    let mut nodes: Vec<NodeId> = vec![NodeId(root)];
+    let mut pos: HashMap<u32, usize> = HashMap::from([(root, 0)]);
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for &s in sources {
+        // best[(s, x)].1 is x's next hop toward the source s, so the walk
+        // starts at the root and follows the chain down to s.
+        let mut cur = root;
+        let mut guard = 0;
+        while cur != s {
+            let &(_, next) = best.get(&(s, cur))?;
+            let a = *pos.entry(cur).or_insert_with(|| {
+                nodes.push(NodeId(cur));
+                nodes.len() - 1
+            });
+            let b = *pos.entry(next).or_insert_with(|| {
+                nodes.push(NodeId(next));
+                nodes.len() - 1
+            });
+            let e = (a.min(b), a.max(b));
+            if !edges.contains(&e) {
+                edges.push(e);
+            }
+            cur = next;
+            guard += 1;
+            if guard > 64 {
+                return None;
+            }
+        }
+    }
+    Jtt::new(nodes, edges).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ci_graph::GraphBuilder;
+
+    /// The "Bloom Wood Mortensen" scenario: three actors joined by either
+    /// of two movies; BANKS cannot tell the movies apart.
+    fn costar_graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        let actors: Vec<NodeId> = (0..3).map(|_| b.add_node(0, vec![])).collect();
+        let popular = b.add_node(1, vec![]);
+        let obscure = b.add_node(1, vec![]);
+        for &a in &actors {
+            b.add_pair(a, popular, 1.0, 1.0);
+            b.add_pair(a, obscure, 1.0, 1.0);
+        }
+        // Popularity: extra fans/credits pointing at the popular movie.
+        for _ in 0..5 {
+            let extra = b.add_node(2, vec![]);
+            b.add_pair(extra, popular, 0.5, 0.5);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn banks_is_blind_to_intermediate_importance() {
+        let g = costar_graph();
+        let prestige = BanksPrestige::compute(&g);
+        // Trees: star with movie in the middle, actors as leaves.
+        let t_popular = Jtt::new(
+            vec![NodeId(3), NodeId(0), NodeId(1), NodeId(2)],
+            vec![(0, 1), (0, 2), (0, 3)],
+        )
+        .unwrap();
+        let t_obscure = Jtt::new(
+            vec![NodeId(4), NodeId(0), NodeId(1), NodeId(2)],
+            vec![(0, 1), (0, 2), (0, 3)],
+        )
+        .unwrap();
+        // Root at an actor leaf (BANKS roots at the connecting node — take
+        // the movie as root; its prestige is NOT counted when it has
+        // children, only root+leaves are, and root == movie here).
+        // Score with the movie as root: prestige(root) differs, so to show
+        // the §II-B.2 blindness we root at an actor as the paper's example
+        // does (answer rooted at "Orlando Bloom").
+        let s_pop = banks_score(&g, &prestige, &t_popular, 1, 0.2);
+        let s_obs = banks_score(&g, &prestige, &t_obscure, 1, 0.2);
+        assert!(
+            (s_pop - s_obs).abs() < 1e-12,
+            "BANKS ties the two movies: {s_pop} vs {s_obs}"
+        );
+    }
+
+    #[test]
+    fn prestige_grows_with_in_degree() {
+        let g = costar_graph();
+        let p = BanksPrestige::compute(&g);
+        assert!(p.get(NodeId(3)) > p.get(NodeId(4)));
+        assert!(p.get(NodeId(3)) <= 1.0);
+        assert!(p.get(NodeId(0)) > 0.0);
+    }
+
+    #[test]
+    fn edge_score_prefers_fewer_weaker_edges() {
+        let g = costar_graph();
+        let prestige = BanksPrestige::compute(&g);
+        let pair = Jtt::new(vec![NodeId(0), NodeId(3)], vec![(0, 1)]).unwrap();
+        let star = Jtt::new(
+            vec![NodeId(3), NodeId(0), NodeId(1), NodeId(2)],
+            vec![(0, 1), (0, 2), (0, 3)],
+        )
+        .unwrap();
+        let s_pair = banks_score(&g, &prestige, &pair, 0, 0.2);
+        let s_star = banks_score(&g, &prestige, &star, 0, 0.2);
+        assert!(s_pair > s_star, "more edges, lower edge score");
+    }
+
+    #[test]
+    fn backward_search_finds_connecting_trees() {
+        let g = costar_graph();
+        let matchers = vec![
+            vec![NodeId(0)],
+            vec![NodeId(1)],
+            vec![NodeId(2)],
+        ];
+        let answers = banks_search(&g, &matchers, &BanksConfig::default());
+        assert!(!answers.is_empty());
+        // Every answer must contain all three actors.
+        for (tree, _) in &answers {
+            for a in 0..3u32 {
+                assert!(tree.contains(NodeId(a)), "answer misses actor {a}");
+            }
+        }
+        // Both movies appear across the answer set.
+        let any_popular = answers.iter().any(|(t, _)| t.contains(NodeId(3)));
+        let any_obscure = answers.iter().any(|(t, _)| t.contains(NodeId(4)));
+        assert!(any_popular && any_obscure);
+    }
+
+    #[test]
+    fn backward_search_single_keyword() {
+        let g = costar_graph();
+        let matchers = vec![vec![NodeId(1)]];
+        let answers = banks_search(&g, &matchers, &BanksConfig::default());
+        assert!(!answers.is_empty());
+        assert_eq!(answers[0].0.size(), 1);
+    }
+
+    #[test]
+    fn unreachable_keywords_give_no_answers() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node(0, vec![]);
+        let y = b.add_node(0, vec![]);
+        let _ = (x, y);
+        let g = b.build();
+        let answers = banks_search(
+            &g,
+            &[vec![NodeId(0)], vec![NodeId(1)]],
+            &BanksConfig::default(),
+        );
+        assert!(answers.is_empty());
+    }
+}

@@ -1,0 +1,136 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * logarithmic (Eq. 2) vs linear dampening (§III-C.2's rejected design);
+//! * RWMP scoring vs the three rejected §III-B alternatives;
+//! * redundant-matcher extensions on vs off in branch-and-bound.
+
+use ci_bench::{dblp_data, dblp_queries};
+use ci_graph::{build_graph, WeightConfig};
+use ci_index::NoIndex;
+use ci_rwmp::{
+    dampening_rate, score_alternative, AlternativeScore, Dampening, Jtt, NodeBinding, Scorer,
+};
+use ci_search::{bnb_search, SearchOptions};
+use ci_walk::{pagerank, PowerOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let data = dblp_data();
+    let graph = build_graph(&data.db, &WeightConfig::dblp_default(), None);
+    let imp = pagerank(&graph, PowerOptions::default());
+    let scorer = Scorer::new(&graph, imp.values(), imp.min(), Dampening::paper_default());
+
+    // A representative 5-node chain from the graph for scoring benches.
+    let start = graph.nodes().find(|&v| graph.out_degree(v) >= 2).unwrap();
+    let mut nodes = vec![start];
+    while nodes.len() < 5 {
+        let last = *nodes.last().unwrap();
+        match graph.neighbors(last).find(|n| !nodes.contains(n)) {
+            Some(n) => nodes.push(n),
+            None => break,
+        }
+    }
+    let edges = (1..nodes.len()).map(|i| (i - 1, i)).collect();
+    let tree = Jtt::new(nodes, edges).unwrap();
+    let bindings = [
+        NodeBinding { pos: 0, match_count: 1, word_count: 2 },
+        NodeBinding { pos: tree.size() - 1, match_count: 1, word_count: 2 },
+    ];
+
+    let mut group = c.benchmark_group("ablation_scoring");
+    group.sample_size(20);
+
+    group.bench_function("rwmp/score_tree", |b| {
+        b.iter(|| std::hint::black_box(scorer.score_tree(&tree, &bindings)))
+    });
+    for (name, alt) in [
+        ("alt/avg_nonfree", AlternativeScore::AvgNonFreeImportance),
+        ("alt/avg_all", AlternativeScore::AvgAllImportance),
+        ("alt/avg_per_size", AlternativeScore::AvgImportancePerSize),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(score_alternative(alt, &scorer, &tree, &bindings)))
+        });
+    }
+
+    group.bench_function("dampening/logarithmic", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for v in graph.nodes().take(1000) {
+                acc += dampening_rate(Dampening::paper_default(), imp.get(v), imp.min());
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    group.bench_function("dampening/linear", |b| {
+        let kind = Dampening::Linear { p_max: imp.max() };
+        b.iter(|| {
+            let mut acc = 0.0;
+            for v in graph.nodes().take(1000) {
+                acc += dampening_rate(kind, imp.get(v), imp.min());
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    group.finish();
+
+    // Redundant-matcher extensions: search cost with the full JTT
+    // semantics vs the paper's strict merge rule.
+    let queries = dblp_queries(&data, 4);
+    let specs: Vec<_> = queries
+        .iter()
+        .filter_map(|q| {
+            let keywords: Vec<String> = q.split(' ').map(String::from).collect();
+            build_spec(&scorer, &data, &graph, keywords)
+        })
+        .collect();
+    let mut group = c.benchmark_group("ablation_redundant_matchers");
+    group.sample_size(10);
+    for (name, allow) in [("on", true), ("off", false)] {
+        let opts = SearchOptions {
+            k: 5,
+            allow_redundant_matchers: allow,
+            max_expansions: Some(ci_bench::BENCH_EXPANSION_CAP),
+            ..Default::default()
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                for spec in &specs {
+                    let _ = std::hint::black_box(bnb_search(&scorer, spec, &NoIndex, &opts));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Resolves keywords against node text the same way the engine does.
+fn build_spec(
+    scorer: &Scorer<'_>,
+    data: &ci_datagen::DblpData,
+    graph: &ci_graph::Graph,
+    keywords: Vec<String>,
+) -> Option<ci_search::QuerySpec> {
+    let mut matches = Vec::new();
+    for v in graph.nodes() {
+        let tid = graph.tuples(v)[0];
+        let text = data.db.tuple_text(tid).ok()?.to_lowercase();
+        let tokens = ci_text::tokenize(&text);
+        let mut mask = 0u32;
+        for (k, kw) in keywords.iter().enumerate() {
+            if tokens.iter().any(|t| t == kw) {
+                mask |= 1 << k;
+            }
+        }
+        if mask != 0 {
+            matches.push((v, mask, tokens.len() as u32));
+        }
+    }
+    if matches.is_empty() {
+        return None;
+    }
+    Some(ci_search::QuerySpec::from_matches(scorer, keywords, matches))
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! §V index construction: naive (all pairs) vs star indexing build cost —
+//! the size/pruning-power trade-off behind Table-of-contents entry §V-B.
+
+use ci_bench::dblp_data;
+use ci_graph::{build_graph, WeightConfig};
+use ci_index::{detect_star_relations, NaiveIndex, StarIndex};
+use ci_rwmp::{Dampening, Scorer};
+use ci_walk::{pagerank, PowerOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let data = dblp_data();
+    let graph = build_graph(&data.db, &WeightConfig::dblp_default(), None);
+    let imp = pagerank(&graph, PowerOptions::default());
+    let scorer = Scorer::new(&graph, imp.values(), imp.min(), Dampening::paper_default());
+    let damp: Vec<f64> = graph.nodes().map(|v| scorer.dampening(v)).collect();
+    let star_rels = detect_star_relations(&graph);
+
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+    group.bench_function("naive_cap4", |b| {
+        b.iter(|| std::hint::black_box(NaiveIndex::build(&graph, &damp, 4)))
+    });
+    group.bench_function("star_cap4", |b| {
+        b.iter(|| std::hint::black_box(StarIndex::build(&graph, &damp, 4, &star_rels)))
+    });
+    group.bench_function("detect_star_relations", |b| {
+        b.iter(|| std::hint::black_box(detect_star_relations(&graph)))
+    });
+    group.finish();
+
+    // Report the size trade-off once (visible in bench output).
+    let naive = NaiveIndex::build(&graph, &damp, 4);
+    let star = StarIndex::build(&graph, &damp, 4, &star_rels);
+    eprintln!(
+        "index sizes at cap 4: naive = {} pairs, star = {} pairs ({:.1}% of naive)",
+        naive.len(),
+        star.len(),
+        100.0 * star.len() as f64 / naive.len().max(1) as f64
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Substrate benches: the random-walk solvers of Eq. 1 (power iteration vs
+//! Monte Carlo) and graph construction, which every experiment in §VI pays
+//! for at build time.
+
+use ci_bench::dblp_data;
+use ci_graph::{build_graph, WeightConfig};
+use ci_walk::{monte_carlo, pagerank, PowerOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let data = dblp_data();
+    let weights = WeightConfig::dblp_default();
+
+    let mut group = c.benchmark_group("substrate");
+    group.sample_size(10);
+
+    group.bench_function("build_graph/dblp", |b| {
+        b.iter(|| std::hint::black_box(build_graph(&data.db, &weights, None)))
+    });
+
+    let graph = build_graph(&data.db, &weights, None);
+    group.bench_function("pagerank/power_iteration", |b| {
+        b.iter(|| std::hint::black_box(pagerank(&graph, PowerOptions::default())))
+    });
+    group.bench_function("pagerank/monte_carlo_100", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            std::hint::black_box(monte_carlo(&graph, 0.15, 100, &mut rng))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

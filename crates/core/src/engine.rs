@@ -1,0 +1,657 @@
+use std::fmt;
+
+use ci_baselines::BanksPrestige;
+use ci_graph::{build_graph, Graph, NodeId};
+use ci_index::{detect_star_relations, DistanceOracle, NaiveIndex, NoIndex, StarIndex};
+use ci_rwmp::{Dampening, Jtt, Scorer};
+use ci_search::{bnb_search, naive_search, Answer, QuerySpec, SearchStats};
+use ci_storage::Database;
+use ci_text::{tokenize, IndexBuilder, InvertedIndex};
+use ci_walk::{monte_carlo, pagerank, pagerank_personalized, Importance, PowerOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::{CiRankConfig, ImportanceMethod, IndexKind};
+use crate::error::CiRankError;
+use crate::ranker::{rank_pool, Ranker};
+use crate::Result;
+
+/// One node of a ranked answer, with display metadata.
+#[derive(Debug, Clone)]
+pub struct AnswerNode {
+    /// The graph node.
+    pub node: NodeId,
+    /// Name of the node's relation (table).
+    pub relation: String,
+    /// The node's text.
+    pub text: String,
+    /// True if the node matches a query keyword (non-free).
+    pub is_matcher: bool,
+}
+
+/// Per-matcher breakdown of an answer's RWMP score (see
+/// [`Engine::explain`]).
+#[derive(Debug, Clone)]
+pub struct ScoreExplanation {
+    /// The non-free node.
+    pub node: NodeId,
+    /// Its text.
+    pub text: String,
+    /// Random-walk importance `p_i`.
+    pub importance: f64,
+    /// Dampening rate `d_i` (Eq. 2).
+    pub dampening: f64,
+    /// Message generation count `r_ii`.
+    pub generation: f64,
+    /// Eq. 3 node score (minimum incoming flow).
+    pub node_score: f64,
+}
+
+/// A scored query answer with human-readable node payloads.
+#[derive(Debug, Clone)]
+pub struct RankedAnswer {
+    /// Ranking score (higher is better). The scale depends on the ranker.
+    pub score: f64,
+    /// The underlying joined tuple tree.
+    pub tree: Jtt,
+    /// Node payloads, aligned with `tree` positions.
+    pub nodes: Vec<AnswerNode>,
+}
+
+impl fmt::Display for RankedAnswer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:.4}]", self.score)?;
+        for (i, n) in self.nodes.iter().enumerate() {
+            let marker = if n.is_matcher { "*" } else { "" };
+            if i > 0 {
+                write!(f, " —")?;
+            }
+            write!(f, " {}{}:{:?}", marker, n.relation, n.text)?;
+        }
+        Ok(())
+    }
+}
+
+enum DistIndex {
+    None,
+    Naive(NaiveIndex),
+    Star(StarIndex),
+}
+
+/// The CI-Rank search engine: an immutable, query-ready view of one
+/// database. See the crate docs for an end-to-end example.
+///
+/// Build once per database, then issue any number of queries; all query
+/// methods take `&self`.
+pub struct Engine {
+    cfg: CiRankConfig,
+    graph: Graph,
+    text: InvertedIndex,
+    importance: Importance,
+    prestige: BanksPrestige,
+    dist: DistIndex,
+    node_text: Vec<String>,
+    relation_names: Vec<String>,
+}
+
+impl fmt::Debug for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("nodes", &self.graph.node_count())
+            .field("edges", &self.graph.edge_count())
+            .field("terms", &self.text.term_count())
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Builds the engine: maps the database to the data graph, indexes the
+    /// text, solves the random walk, and constructs the configured
+    /// distance index.
+    pub fn build(db: &Database, cfg: CiRankConfig) -> Result<Engine> {
+        if db.tuple_count() == 0 {
+            return Err(CiRankError::EmptyDatabase);
+        }
+        let graph = build_graph(db, &cfg.weights, cfg.merge.as_ref());
+        let relation_names: Vec<String> = db
+            .table_ids()
+            .map(|t| db.schema(t).map(|s| s.name().to_string()))
+            .collect::<std::result::Result<_, _>>()?;
+
+        // One text document per graph node (merged nodes concatenate their
+        // tuples' text).
+        let mut node_text = Vec::with_capacity(graph.node_count());
+        let mut builder = IndexBuilder::new();
+        for v in graph.nodes() {
+            let mut text = String::new();
+            for &tid in graph.tuples(v) {
+                let t = db.tuple_text(tid)?;
+                if !text.is_empty() {
+                    text.push(' ');
+                }
+                text.push_str(&t);
+            }
+            builder.add_doc(v.0, graph.relation(v), &text);
+            node_text.push(text);
+        }
+        let text = builder.build();
+
+        let importance = match &cfg.importance {
+            ImportanceMethod::PowerIteration => pagerank(
+                &graph,
+                PowerOptions { teleport: cfg.teleport, ..Default::default() },
+            ),
+            ImportanceMethod::MonteCarlo { walks_per_node, seed } => {
+                let mut rng = StdRng::seed_from_u64(*seed);
+                monte_carlo(&graph, cfg.teleport, *walks_per_node, &mut rng)
+            }
+            ImportanceMethod::Personalized(u) => pagerank_personalized(
+                &graph,
+                PowerOptions { teleport: cfg.teleport, ..Default::default() },
+                u,
+            ),
+        };
+        let prestige = BanksPrestige::compute(&graph);
+
+        let dist = {
+            let scorer = Scorer::new(
+                &graph,
+                importance.values(),
+                importance.min(),
+                Dampening::Logarithmic { alpha: cfg.alpha, g: cfg.g },
+            );
+            let damp: Vec<f64> = graph.nodes().map(|v| scorer.dampening(v)).collect();
+            match &cfg.index {
+                IndexKind::None => DistIndex::None,
+                IndexKind::Naive => DistIndex::Naive(NaiveIndex::build(&graph, &damp, cfg.diameter)),
+                IndexKind::Star { relations } => {
+                    let rels = relations
+                        .clone()
+                        .unwrap_or_else(|| detect_star_relations(&graph));
+                    DistIndex::Star(StarIndex::build(&graph, &damp, cfg.diameter, &rels))
+                }
+            }
+        };
+
+        Ok(Engine {
+            cfg,
+            graph,
+            text,
+            importance,
+            prestige,
+            dist,
+            node_text,
+            relation_names,
+        })
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &CiRankConfig {
+        &self.cfg
+    }
+
+    /// The data graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Node importance values.
+    pub fn importance(&self) -> &Importance {
+        &self.importance
+    }
+
+    /// The inverted text index.
+    pub fn text_index(&self) -> &InvertedIndex {
+        &self.text
+    }
+
+    /// The concatenated text of one graph node.
+    pub fn node_text(&self, v: NodeId) -> &str {
+        &self.node_text[v.idx()]
+    }
+
+    /// The RWMP scorer over this engine's graph and importance.
+    pub fn scorer(&self) -> Scorer<'_> {
+        Scorer::new(
+            &self.graph,
+            self.importance.values(),
+            self.importance.min(),
+            Dampening::Logarithmic { alpha: self.cfg.alpha, g: self.cfg.g },
+        )
+    }
+
+    /// Parses a query string into distinct keyword tokens.
+    pub fn parse_query(&self, query: &str) -> Result<Vec<String>> {
+        let mut keywords: Vec<String> = Vec::new();
+        for tok in tokenize(query) {
+            if !keywords.contains(&tok) {
+                keywords.push(tok);
+            }
+        }
+        if keywords.is_empty() {
+            return Err(CiRankError::EmptyQuery);
+        }
+        if keywords.len() > 32 {
+            return Err(CiRankError::TooManyKeywords(keywords.len()));
+        }
+        Ok(keywords)
+    }
+
+    /// Resolves a query string against the text index.
+    pub fn query_spec(&self, query: &str) -> Result<QuerySpec> {
+        let keywords = self.parse_query(query)?;
+        let scorer = self.scorer();
+        let mut masks: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        for (k, kw) in keywords.iter().enumerate() {
+            for doc in self.text.matching_docs(kw) {
+                *masks.entry(doc).or_insert(0) |= 1 << k;
+            }
+        }
+        let matches: Vec<(NodeId, u32, u32)> = masks
+            .into_iter()
+            .map(|(doc, mask)| (NodeId(doc), mask, self.text.doc_len(doc).max(1)))
+            .collect();
+        Ok(QuerySpec::from_matches(&scorer, keywords, matches))
+    }
+
+    fn run_with_oracle<T>(&self, f: impl FnOnce(&dyn DistanceOracle) -> T) -> T {
+        match &self.dist {
+            DistIndex::None => f(&NoIndex),
+            DistIndex::Naive(ix) => f(ix),
+            DistIndex::Star(ix) => f(&ix.oracle(&self.graph)),
+        }
+    }
+
+    /// Top-k search with the CI-Rank scoring function (branch-and-bound).
+    pub fn search(&self, query: &str) -> Result<Vec<RankedAnswer>> {
+        self.search_with_stats(query).map(|(a, _)| a)
+    }
+
+    /// Like [`Engine::search`], also returning search statistics.
+    pub fn search_with_stats(&self, query: &str) -> Result<(Vec<RankedAnswer>, SearchStats)> {
+        let spec = self.query_spec(query)?;
+        let scorer = self.scorer();
+        let opts = self.cfg.search_options();
+        let (answers, stats) =
+            self.run_with_oracle(|oracle| bnb_search(&scorer, &spec, oracle, &opts));
+        Ok((
+            answers.into_iter().map(|a| self.to_ranked(&spec, a)).collect(),
+            stats,
+        ))
+    }
+
+    /// Top-k search with the naive algorithm of §IV-A (for the Fig. 10
+    /// comparison). The flag reports whether enumeration caps were hit.
+    pub fn search_naive(&self, query: &str) -> Result<(Vec<RankedAnswer>, bool)> {
+        let spec = self.query_spec(query)?;
+        let scorer = self.scorer();
+        let opts = self.cfg.search_options();
+        let (answers, truncated) = naive_search(&scorer, &spec, &opts);
+        Ok((
+            answers.into_iter().map(|a| self.to_ranked(&spec, a)).collect(),
+            truncated,
+        ))
+    }
+
+    /// Generates a candidate pool of up to `pool_k` answers (the top
+    /// `pool_k` by CI score, via branch-and-bound). The evaluation harness
+    /// re-ranks this common pool with every competing scoring function,
+    /// mirroring the paper's §VI setup where all rankers score the same
+    /// generated answers.
+    pub fn candidate_pool(&self, query: &str, pool_k: usize) -> Result<Vec<Answer>> {
+        let spec = self.query_spec(query)?;
+        let scorer = self.scorer();
+        let opts = ci_search::SearchOptions {
+            k: pool_k,
+            ..self.cfg.search_options()
+        };
+        let (answers, _) =
+            self.run_with_oracle(|oracle| bnb_search(&scorer, &spec, oracle, &opts));
+        Ok(answers)
+    }
+
+    /// Re-ranks a candidate pool with the chosen ranker.
+    pub fn rank(&self, query: &str, pool: &[Answer], ranker: Ranker) -> Result<Vec<RankedAnswer>> {
+        let spec = self.query_spec(query)?;
+        let scorer = self.scorer();
+        let ranked = rank_pool(
+            &scorer,
+            &spec,
+            &self.text,
+            &self.graph,
+            &self.prestige,
+            pool,
+            ranker,
+        );
+        Ok(ranked
+            .into_iter()
+            .map(|(tree, score)| self.to_ranked(&spec, Answer { tree, score }))
+            .collect())
+    }
+
+    /// Convenience: pool generation plus re-ranking in one call.
+    pub fn search_ranked(
+        &self,
+        query: &str,
+        ranker: Ranker,
+        pool_k: usize,
+    ) -> Result<Vec<RankedAnswer>> {
+        let pool = self.candidate_pool(query, pool_k)?;
+        self.rank(query, &pool, ranker)
+    }
+
+    /// Runs BANKS end to end as an independent search strategy: backward
+    /// expanding search from every matcher (§II-B.2's citation), answers
+    /// scored with the BANKS ranking function at their emission root.
+    /// Provided for completeness alongside [`Engine::rank`]'s
+    /// pool-re-ranking mode, which is what the paper's evaluation uses.
+    pub fn search_banks(&self, query: &str) -> Result<Vec<RankedAnswer>> {
+        let spec = self.query_spec(query)?;
+        if !spec.answerable() {
+            return Ok(Vec::new());
+        }
+        let matchers: Vec<Vec<NodeId>> = (0..spec.keyword_count())
+            .map(|k| spec.matchers_of(k).to_vec())
+            .collect();
+        let banks_cfg = ci_baselines::BanksConfig {
+            max_answers: self.cfg.k * 4,
+            max_hops: self.cfg.diameter,
+            ..Default::default()
+        };
+        let mut answers: Vec<RankedAnswer> = ci_baselines::banks_search(
+            &self.graph,
+            &matchers,
+            &banks_cfg,
+        )
+        .into_iter()
+        .map(|(tree, root)| {
+            let score =
+                ci_baselines::banks_score(&self.graph, &self.prestige, &tree, root, banks_cfg.lambda);
+            self.to_ranked(&spec, Answer { tree, score })
+        })
+        .collect();
+        answers.sort_by(|a, b| b.score.total_cmp(&a.score));
+        answers.truncate(self.cfg.k);
+        Ok(answers)
+    }
+
+    /// Explains an answer's RWMP score: per non-free node, the Eq. 3
+    /// minimum incoming flow and the node's own statistics. Returns one
+    /// entry per matcher in tree order.
+    pub fn explain(&self, query: &str, tree: &Jtt) -> Result<Vec<ScoreExplanation>> {
+        let spec = self.query_spec(query)?;
+        let scorer = self.scorer();
+        let bindings: Vec<ci_rwmp::NodeBinding> = (0..tree.size())
+            .filter_map(|pos| {
+                spec.matcher(tree.node(pos)).map(|m| ci_rwmp::NodeBinding {
+                    pos,
+                    match_count: m.match_count,
+                    word_count: m.word_count,
+                })
+            })
+            .collect();
+        if bindings.is_empty() {
+            return Ok(Vec::new());
+        }
+        let score = scorer.score_tree(tree, &bindings);
+        Ok(bindings
+            .iter()
+            .zip(&score.node_scores)
+            .map(|(b, &node_score)| {
+                let node = tree.node(b.pos);
+                ScoreExplanation {
+                    node,
+                    text: self.node_text[node.idx()].clone(),
+                    importance: self.importance.get(node),
+                    dampening: scorer.dampening(node),
+                    generation: scorer.generation(node, b.match_count, b.word_count),
+                    node_score,
+                }
+            })
+            .collect())
+    }
+
+    fn to_ranked(&self, spec: &QuerySpec, answer: Answer) -> RankedAnswer {
+        let nodes = answer
+            .tree
+            .nodes()
+            .iter()
+            .map(|&v| AnswerNode {
+                node: v,
+                relation: self
+                    .relation_names
+                    .get(self.graph.relation(v) as usize)
+                    .cloned()
+                    .unwrap_or_else(|| format!("rel{}", self.graph.relation(v))),
+                text: self.node_text[v.idx()].clone(),
+                is_matcher: spec.matcher(v).is_some(),
+            })
+            .collect();
+        RankedAnswer {
+            score: answer.score,
+            tree: answer.tree,
+            nodes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ci_graph::WeightConfig;
+    use ci_storage::{schemas, Value};
+
+    /// Two authors, two shared papers of very different citation counts
+    /// — the paper's running example.
+    fn tsimmis_db() -> Database {
+        let (mut db, t) = schemas::dblp();
+        let a1 = db.insert(t.author, vec![Value::text("Yannis Papakonstantinou")]).unwrap();
+        let a2 = db.insert(t.author, vec![Value::text("Jeffrey Ullman")]).unwrap();
+        let weak = db
+            .insert(t.paper, vec![Value::text("Capability Based Mediation in TSIMMIS"), Value::int(1997)])
+            .unwrap();
+        let strong = db
+            .insert(
+                t.paper,
+                vec![Value::text("The TSIMMIS Project Integration of Heterogeneous Information Sources"), Value::int(1995)],
+            )
+            .unwrap();
+        for p in [weak, strong] {
+            db.link(t.author_paper, a1, p).unwrap();
+            db.link(t.author_paper, a2, p).unwrap();
+        }
+        // Citations: 7 for the weak paper, 38 for the strong one.
+        for i in 0..45 {
+            let citing = db
+                .insert(t.paper, vec![Value::text(format!("citing paper {i}")), Value::int(2000 + i)])
+                .unwrap();
+            let target = if i < 7 { weak } else { strong };
+            db.link(t.cites, citing, target).unwrap();
+        }
+        db
+    }
+
+    fn engine() -> Engine {
+        Engine::build(
+            &tsimmis_db(),
+            CiRankConfig {
+                weights: WeightConfig::dblp_default(),
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn tsimmis_example_ranks_the_cited_paper_first() {
+        let e = engine();
+        let answers = e.search("papakonstantinou ullman").unwrap();
+        assert_eq!(answers.len(), 2, "two connecting papers");
+        let top_paper = answers[0]
+            .nodes
+            .iter()
+            .find(|n| n.relation == "paper")
+            .expect("paper connects the authors");
+        assert!(
+            top_paper.text.contains("Heterogeneous"),
+            "the 38-citation paper must rank first, got {:?}",
+            top_paper.text
+        );
+        assert!(answers[0].score > answers[1].score);
+    }
+
+    #[test]
+    fn empty_query_rejected() {
+        let e = engine();
+        assert_eq!(e.search("  ...  ").unwrap_err(), CiRankError::EmptyQuery);
+    }
+
+    #[test]
+    fn empty_database_rejected() {
+        let (db, _) = schemas::dblp();
+        let err = Engine::build(&db, CiRankConfig::default()).unwrap_err();
+        assert_eq!(err, CiRankError::EmptyDatabase);
+    }
+
+    #[test]
+    fn unmatched_keyword_yields_no_answers() {
+        let e = engine();
+        let answers = e.search("papakonstantinou zzzzz").unwrap();
+        assert!(answers.is_empty());
+    }
+
+    #[test]
+    fn naive_and_bnb_agree_end_to_end() {
+        let e = engine();
+        let bnb = e.search("papakonstantinou ullman").unwrap();
+        let (naive, truncated) = e.search_naive("papakonstantinou ullman").unwrap();
+        assert!(!truncated);
+        assert_eq!(bnb.len(), naive.len());
+        for (a, b) in bnb.iter().zip(&naive) {
+            assert!((a.score - b.score).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn banks_search_end_to_end() {
+        let e = engine();
+        let answers = e.search_banks("papakonstantinou ullman").unwrap();
+        assert!(!answers.is_empty());
+        for a in &answers {
+            // Every BANKS answer covers both keywords.
+            for kw in ["papakonstantinou", "ullman"] {
+                assert!(
+                    a.tree.nodes().iter().any(|&v| e.text_index().tf(kw, v.0) > 0),
+                    "answer misses {kw:?}"
+                );
+            }
+            assert!(a.score > 0.0);
+        }
+        for w in answers.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+        // Unanswerable query is clean.
+        assert!(e.search_banks("papakonstantinou zzz").unwrap().is_empty());
+    }
+
+    #[test]
+    fn explain_breaks_down_the_score() {
+        let e = engine();
+        let answers = e.search("papakonstantinou ullman").unwrap();
+        let explained = e.explain("papakonstantinou ullman", &answers[0].tree).unwrap();
+        assert_eq!(explained.len(), 2, "two matchers in the answer");
+        for x in &explained {
+            assert!(x.importance > 0.0);
+            assert!(x.dampening > 0.0 && x.dampening < 1.0);
+            assert!(x.generation > 0.0);
+            assert!(x.node_score > 0.0);
+            assert!(x.node_score <= x.generation * 10.0);
+        }
+        // The tree score equals the mean of node scores.
+        let mean: f64 =
+            explained.iter().map(|x| x.node_score).sum::<f64>() / explained.len() as f64;
+        assert!((mean - answers[0].score).abs() < 1e-9);
+        // A tree with no matchers explains to nothing.
+        let free_only = e
+            .explain("zzzz qqqq", &answers[0].tree)
+            .unwrap();
+        assert!(free_only.is_empty());
+    }
+
+    #[test]
+    fn ranked_answers_display() {
+        let e = engine();
+        let answers = e.search("tsimmis").unwrap();
+        assert!(!answers.is_empty());
+        let s = answers[0].to_string();
+        assert!(s.contains("paper"));
+        assert!(s.starts_with('['));
+    }
+
+    #[test]
+    fn index_kinds_agree() {
+        for index in [IndexKind::None, IndexKind::Naive, IndexKind::Star { relations: None }] {
+            let e = Engine::build(
+                &tsimmis_db(),
+                CiRankConfig {
+                    weights: WeightConfig::dblp_default(),
+                    index,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let answers = e.search("papakonstantinou ullman").unwrap();
+            assert_eq!(answers.len(), 2);
+            assert!(answers[0].nodes.iter().any(|n| n.text.contains("Heterogeneous")));
+        }
+    }
+
+    #[test]
+    fn monte_carlo_importance_works() {
+        let e = Engine::build(
+            &tsimmis_db(),
+            CiRankConfig {
+                weights: WeightConfig::dblp_default(),
+                importance: ImportanceMethod::MonteCarlo { walks_per_node: 300, seed: 5 },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let answers = e.search("papakonstantinou ullman").unwrap();
+        assert_eq!(answers.len(), 2);
+        assert!(answers[0].nodes.iter().any(|n| n.text.contains("Heterogeneous")));
+    }
+
+    #[test]
+    fn personalized_importance_biases_results() {
+        let db = tsimmis_db();
+        let base = Engine::build(
+            &db,
+            CiRankConfig { weights: WeightConfig::dblp_default(), ..Default::default() },
+        )
+        .unwrap();
+        // Bias all teleport mass onto the weak paper's node.
+        let weak_node = base
+            .graph()
+            .nodes()
+            .find(|&v| base.node_text(v).contains("Capability"))
+            .unwrap();
+        let mut u = vec![0.0; base.graph().node_count()];
+        u[weak_node.idx()] = 1.0;
+        let biased = Engine::build(
+            &db,
+            CiRankConfig {
+                weights: WeightConfig::dblp_default(),
+                importance: ImportanceMethod::Personalized(u),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let answers = biased.search("papakonstantinou ullman").unwrap();
+        let top_paper = answers[0].nodes.iter().find(|n| n.relation == "paper").unwrap();
+        assert!(
+            top_paper.text.contains("Capability"),
+            "feedback bias flips the ranking"
+        );
+    }
+}

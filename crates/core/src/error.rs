@@ -1,0 +1,57 @@
+use std::fmt;
+
+/// Errors surfaced by the [`crate::Engine`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CiRankError {
+    /// The query contained no usable keywords after tokenization.
+    EmptyQuery,
+    /// More than 32 distinct keywords (mask width limit).
+    TooManyKeywords(usize),
+    /// The database was empty — there is nothing to search.
+    EmptyDatabase,
+    /// A storage-layer failure.
+    Storage(ci_storage::StorageError),
+}
+
+impl fmt::Display for CiRankError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CiRankError::EmptyQuery => write!(f, "query contains no keywords"),
+            CiRankError::TooManyKeywords(n) => {
+                write!(f, "query has {n} distinct keywords; at most 32 are supported")
+            }
+            CiRankError::EmptyDatabase => write!(f, "the database contains no tuples"),
+            CiRankError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CiRankError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CiRankError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ci_storage::StorageError> for CiRankError {
+    fn from(e: ci_storage::StorageError) -> Self {
+        CiRankError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        assert!(CiRankError::EmptyQuery.to_string().contains("no keywords"));
+        assert!(CiRankError::TooManyKeywords(40).to_string().contains("40"));
+        let e = CiRankError::from(ci_storage::StorageError::UnknownTable(
+            ci_storage::TableId(1),
+        ));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

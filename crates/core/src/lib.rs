@@ -1,0 +1,64 @@
+//! # CI-Rank
+//!
+//! A complete reproduction of *"CI-Rank: Ranking Keyword Search Results
+//! Based on Collective Importance"* (Yu & Shi, ICDE 2012) as a Rust
+//! library.
+//!
+//! CI-Rank answers keyword queries over a relational database with
+//! *joined tuple trees* (JTTs) and ranks them by **collective importance**:
+//! a Random Walk with Message Passing (RWMP) model that rewards answers
+//! whose nodes are individually important *and* cohesively connected —
+//! including the free connector nodes IR-style rankers ignore.
+//!
+//! The [`Engine`] ties the subsystem crates together:
+//!
+//! * `ci-storage` — relational substrate;
+//! * `ci-graph` — the weighted data graph (Table II edge weights,
+//!   person merge);
+//! * `ci-text` — keyword matching and IR statistics;
+//! * `ci-walk` — random-walk node importance (Eq. 1);
+//! * `ci-rwmp` — the RWMP scoring model (Eqs. 2–4);
+//! * `ci-search` — naive and branch-and-bound top-k search (Algorithm 1);
+//! * `ci-index` — naive and star indexing (§V);
+//! * `ci-baselines` — DISCOVER2, SPARK, and BANKS for comparison.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ci_rank::{CiRankConfig, Engine};
+//! use ci_storage::{schemas, Value};
+//! use ci_graph::WeightConfig;
+//!
+//! // A two-author, one-paper bibliography.
+//! let (mut db, t) = schemas::dblp();
+//! let yu = db.insert(t.author, vec![Value::text("Xiaohui Yu")]).unwrap();
+//! let shi = db.insert(t.author, vec![Value::text("Huxia Shi")]).unwrap();
+//! let paper = db
+//!     .insert(t.paper, vec![Value::text("CI-Rank keyword search"), Value::int(2012)])
+//!     .unwrap();
+//! db.link(t.author_paper, yu, paper).unwrap();
+//! db.link(t.author_paper, shi, paper).unwrap();
+//!
+//! let cfg = CiRankConfig {
+//!     weights: WeightConfig::dblp_default(),
+//!     ..Default::default()
+//! };
+//! let engine = Engine::build(&db, cfg).unwrap();
+//! let answers = engine.search("yu shi").unwrap();
+//! assert_eq!(answers.len(), 1);
+//! assert_eq!(answers[0].nodes.len(), 3); // author — paper — author
+//! ```
+
+mod config;
+mod engine;
+mod error;
+pub mod feedback;
+mod ranker;
+
+pub use config::{CiRankConfig, ImportanceMethod, IndexKind};
+pub use engine::{AnswerNode, Engine, RankedAnswer, ScoreExplanation};
+pub use error::CiRankError;
+pub use ranker::Ranker;
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, CiRankError>;

@@ -1,0 +1,257 @@
+use ci_storage::{schemas, Database, TupleId, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::names;
+use crate::zipf::Zipf;
+use crate::GroundTruth;
+
+/// Sizing and shape of the synthetic DBLP database.
+#[derive(Debug, Clone, Copy)]
+pub struct DblpConfig {
+    /// Number of conferences.
+    pub conferences: usize,
+    /// Number of papers (the star table).
+    pub papers: usize,
+    /// Number of authors.
+    pub authors: usize,
+    /// Mean authors per paper.
+    pub avg_authors: f64,
+    /// Mean citations issued per paper (to earlier papers).
+    pub avg_citations: f64,
+    /// Probability that a paper reuses the author core of an earlier paper
+    /// (research-group behaviour). Repeat collaborations give the same
+    /// author pair several alternative connecting papers — the ambiguity
+    /// CI-Rank resolves by connector importance.
+    pub repeat_collaboration: f64,
+    /// Zipf exponent of author prominence.
+    pub zipf_exponent: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DblpConfig {
+    fn default() -> Self {
+        DblpConfig {
+            conferences: 12,
+            papers: 500,
+            authors: 300,
+            avg_authors: 2.5,
+            avg_citations: 3.0,
+            repeat_collaboration: 0.4,
+            zipf_exponent: 1.0,
+            seed: 42,
+        }
+    }
+}
+
+/// A generated DBLP-shaped database with its ground truth.
+pub struct DblpData {
+    /// The populated database.
+    pub db: Database,
+    /// Table and link handles.
+    pub tables: schemas::DblpTables,
+    /// Generator-side true popularity (papers: citation count; authors:
+    /// accumulated citations of their papers; conferences: accumulated
+    /// citations of their papers).
+    pub truth: GroundTruth,
+}
+
+/// Generates a synthetic DBLP database (schema of Fig. 1(a)).
+///
+/// Citations use preferential attachment — each new paper cites earlier
+/// papers proportionally to (1 + their current citation count) — yielding
+/// the power-law citation distribution of the real DBLP, i.e. a few
+/// TSIMMIS-grade heavily cited papers among a long tail.
+pub fn generate_dblp(cfg: DblpConfig) -> DblpData {
+    assert!(cfg.papers >= 1 && cfg.authors >= 1 && cfg.conferences >= 1);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let (mut db, tables) = schemas::dblp();
+    let mut truth = GroundTruth::default();
+
+    let confs: Vec<TupleId> = (0..cfg.conferences)
+        .map(|i| {
+            let name = names::CONFERENCE_NAMES[i % names::CONFERENCE_NAMES.len()];
+            let name = if i < names::CONFERENCE_NAMES.len() {
+                name.to_string()
+            } else {
+                format!("{name} {}", i / names::CONFERENCE_NAMES.len() + 2)
+            };
+            db.insert(tables.conference, vec![Value::text(name)])
+                .expect("schema matches")
+        })
+        .collect();
+
+    let authors: Vec<TupleId> = (0..cfg.authors)
+        .map(|_| {
+            db.insert(tables.author, vec![Value::text(names::person_name(&mut rng))])
+                .expect("schema matches")
+        })
+        .collect();
+    let author_pick = Zipf::new(cfg.authors, cfg.zipf_exponent);
+    let conf_pick = Zipf::new(cfg.conferences, cfg.zipf_exponent);
+
+    let mut papers: Vec<TupleId> = Vec::with_capacity(cfg.papers);
+    // Citation counts drive both preferential attachment and ground truth.
+    let mut citations = vec![0usize; cfg.papers];
+    // Author sets of earlier papers, for repeat collaborations.
+    let mut author_sets: Vec<Vec<TupleId>> = Vec::with_capacity(cfg.papers);
+
+    for i in 0..cfg.papers {
+        let year = 1985 + (i * 40 / cfg.papers) as i64;
+        let paper = db
+            .insert(
+                tables.paper,
+                vec![Value::text(names::paper_title(&mut rng)), Value::int(year)],
+            )
+            .expect("schema matches");
+        papers.push(paper);
+        db.link(tables.paper_conference, paper, confs[conf_pick.sample(&mut rng)])
+            .expect("valid endpoints");
+
+        // Authors: 1 + geometric-ish around avg_authors. With probability
+        // `repeat_collaboration` the paper starts from the author core of
+        // an earlier paper (same research group publishing again).
+        let n_auth = 1 + rng.gen_range(0..(2.0 * cfg.avg_authors) as usize + 1).min(cfg.authors - 1);
+        let mut assigned: Vec<TupleId> = Vec::new();
+        if i > 0 && rng.gen::<f64>() < cfg.repeat_collaboration {
+            let prev = &author_sets[rng.gen_range(0..i)];
+            assigned.extend(prev.iter().take(n_auth).copied());
+        }
+        while assigned.len() < n_auth {
+            let a = authors[author_pick.sample(&mut rng)];
+            if !assigned.contains(&a) {
+                assigned.push(a);
+            }
+        }
+        for &a in &assigned {
+            db.link(tables.author_paper, a, paper).expect("valid endpoints");
+        }
+        author_sets.push(assigned);
+
+        // Citations to earlier papers, preferentially attached.
+        if i > 0 {
+            let n_cite = rng.gen_range(0..=(2.0 * cfg.avg_citations) as usize);
+            let total_weight: usize = citations[..i].iter().map(|&c| c + 1).sum();
+            let mut cited = Vec::new();
+            for _ in 0..n_cite.min(i) {
+                let mut x = rng.gen_range(0..total_weight);
+                let mut target = 0;
+                for (j, &c) in citations[..i].iter().enumerate() {
+                    let w = c + 1;
+                    if x < w {
+                        target = j;
+                        break;
+                    }
+                    x -= w;
+                }
+                if cited.contains(&target) {
+                    continue;
+                }
+                cited.push(target);
+                citations[target] += 1;
+                db.link(tables.cites, paper, papers[target])
+                    .expect("valid endpoints");
+            }
+        }
+    }
+
+    // Ground truth from final citation counts.
+    let mut author_cites = vec![0usize; cfg.authors];
+    let ap = db.link_set(tables.author_paper).unwrap().pairs().to_vec();
+    for (a, p) in ap {
+        author_cites[a as usize] += citations[p as usize] + 1;
+    }
+    let mut conf_cites = vec![0usize; cfg.conferences];
+    let pc = db.link_set(tables.paper_conference).unwrap().pairs().to_vec();
+    for (p, c) in pc {
+        conf_cites[c as usize] += citations[p as usize] + 1;
+    }
+    for (i, &c) in citations.iter().enumerate() {
+        truth.set(papers[i], 1.0 + c as f64);
+    }
+    for (i, &c) in author_cites.iter().enumerate() {
+        truth.set(authors[i], 1.0 + c as f64);
+    }
+    for (i, &c) in conf_cites.iter().enumerate() {
+        truth.set(confs[i], 1.0 + c as f64);
+    }
+
+    db.validate().expect("generator produces consistent links");
+    DblpData { db, tables, truth }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> DblpConfig {
+        DblpConfig {
+            conferences: 6,
+            papers: 120,
+            authors: 60,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_dblp(small());
+        let b = generate_dblp(small());
+        assert_eq!(a.db.link_count(), b.db.link_count());
+        assert_eq!(
+            a.db.tuple_text(TupleId::new(a.tables.paper, 7)).unwrap(),
+            b.db.tuple_text(TupleId::new(b.tables.paper, 7)).unwrap()
+        );
+    }
+
+    #[test]
+    fn sizes_match_config() {
+        let d = generate_dblp(small());
+        assert_eq!(d.db.row_count(d.tables.paper).unwrap(), 120);
+        assert_eq!(d.db.row_count(d.tables.author).unwrap(), 60);
+        assert_eq!(d.db.row_count(d.tables.conference).unwrap(), 6);
+        // Every paper has a conference.
+        assert_eq!(d.db.link_set(d.tables.paper_conference).unwrap().len(), 120);
+        // Every paper has ≥ 1 author.
+        assert!(d.db.link_set(d.tables.author_paper).unwrap().len() >= 120);
+    }
+
+    #[test]
+    fn citations_are_heavy_tailed() {
+        let d = generate_dblp(DblpConfig { papers: 400, ..small() });
+        let mut counts = vec![0usize; 400];
+        for &(_, cited) in d.db.link_set(d.tables.cites).unwrap().pairs() {
+            counts[cited as usize] += 1;
+        }
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: usize = counts[..10].iter().sum();
+        let total: usize = counts.iter().sum();
+        assert!(total > 0);
+        assert!(
+            top10 as f64 > 0.2 * total as f64,
+            "top-10 papers hold {top10} of {total} citations"
+        );
+    }
+
+    #[test]
+    fn ground_truth_tracks_citations() {
+        let d = generate_dblp(small());
+        let mut counts = vec![0usize; 120];
+        for &(_, cited) in d.db.link_set(d.tables.cites).unwrap().pairs() {
+            counts[cited as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let got = d.truth.get(TupleId::new(d.tables.paper, i as u32));
+            assert!((got - (1.0 + c as f64)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn no_self_citations() {
+        let d = generate_dblp(small());
+        for &(citing, cited) in d.db.link_set(d.tables.cites).unwrap().pairs() {
+            assert_ne!(citing, cited);
+        }
+    }
+}

@@ -1,0 +1,246 @@
+use ci_storage::{schemas, Database, TupleId, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::names;
+use crate::zipf::Zipf;
+use crate::GroundTruth;
+
+/// Sizing and shape of the synthetic IMDB database.
+#[derive(Debug, Clone, Copy)]
+pub struct ImdbConfig {
+    /// Number of movies (the star table).
+    pub movies: usize,
+    /// Number of actors.
+    pub actors: usize,
+    /// Number of actresses.
+    pub actresses: usize,
+    /// Number of directors.
+    pub directors: usize,
+    /// Number of producers.
+    pub producers: usize,
+    /// Number of production companies.
+    pub companies: usize,
+    /// Zipf exponent of entity popularity (1.0 ≈ classic Zipf).
+    pub zipf_exponent: f64,
+    /// Mean credited cast (actors + actresses) per movie.
+    pub avg_cast: f64,
+    /// Probability that a movie reuses the cast core of an earlier movie
+    /// (franchise/ensemble behaviour), giving the same co-star pair several
+    /// alternative connecting movies.
+    pub repeat_collaboration: f64,
+    /// RNG seed; equal seeds give identical databases.
+    pub seed: u64,
+}
+
+impl Default for ImdbConfig {
+    fn default() -> Self {
+        ImdbConfig {
+            movies: 400,
+            actors: 260,
+            actresses: 180,
+            directors: 70,
+            producers: 50,
+            companies: 30,
+            zipf_exponent: 1.0,
+            avg_cast: 4.0,
+            repeat_collaboration: 0.4,
+            seed: 42,
+        }
+    }
+}
+
+/// A generated IMDB-shaped database with its ground truth.
+pub struct ImdbData {
+    /// The populated database.
+    pub db: Database,
+    /// Table and link handles.
+    pub tables: schemas::ImdbTables,
+    /// Generator-side true popularity per tuple.
+    pub truth: GroundTruth,
+}
+
+/// Generates a synthetic IMDB database (schema of Fig. 1(b)).
+///
+/// Popularity is Zipfian per entity kind; cast assignment couples popular
+/// actors to popular movies (preferential attachment), reproducing the
+/// skewed degree distribution of the real data. People may share names
+/// across roles — the person merge of §VI-A gets exercised naturally.
+pub fn generate_imdb(cfg: ImdbConfig) -> ImdbData {
+    assert!(cfg.movies >= 1, "need at least one movie");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let (mut db, tables) = schemas::imdb();
+    let mut truth = GroundTruth::default();
+
+    let movie_pop = Zipf::new(cfg.movies, cfg.zipf_exponent);
+
+    // People and companies, each with a Zipf popularity by creation rank.
+    let insert_people = |db: &mut Database,
+                             truth: &mut GroundTruth,
+                             rng: &mut StdRng,
+                             table,
+                             n: usize,
+                             name_fn: fn(&mut StdRng) -> String|
+     -> Vec<TupleId> {
+        let pop = Zipf::new(n.max(1), cfg.zipf_exponent);
+        (0..n)
+            .map(|rank| {
+                let t = db
+                    .insert(table, vec![Value::text(name_fn(rng))])
+                    .expect("schema matches");
+                truth.set(t, pop.probability(rank) * n as f64);
+                t
+            })
+            .collect()
+    };
+
+    let actors = insert_people(&mut db, &mut truth, &mut rng, tables.actor, cfg.actors, names::person_name);
+    let actresses = insert_people(&mut db, &mut truth, &mut rng, tables.actress, cfg.actresses, names::person_name);
+    let directors = insert_people(&mut db, &mut truth, &mut rng, tables.director, cfg.directors, names::person_name);
+    let producers = insert_people(&mut db, &mut truth, &mut rng, tables.producer, cfg.producers, names::person_name);
+    let companies = insert_people(&mut db, &mut truth, &mut rng, tables.company, cfg.companies, names::company_name);
+
+    let actor_pick = Zipf::new(cfg.actors.max(1), cfg.zipf_exponent);
+    let actress_pick = Zipf::new(cfg.actresses.max(1), cfg.zipf_exponent);
+    let director_pick = Zipf::new(cfg.directors.max(1), cfg.zipf_exponent);
+    let producer_pick = Zipf::new(cfg.producers.max(1), cfg.zipf_exponent);
+    let company_pick = Zipf::new(cfg.companies.max(1), cfg.zipf_exponent);
+
+    // Cast lists of earlier movies, for franchise-style repeat pairs.
+    let mut casts: Vec<Vec<TupleId>> = Vec::with_capacity(cfg.movies);
+    for movie_rank in 0..cfg.movies {
+        let year = 1960 + rng.gen_range(0..65) as i64;
+        let movie = db
+            .insert(
+                tables.movie,
+                vec![Value::text(names::movie_title(&mut rng)), Value::int(year)],
+            )
+            .expect("schema matches");
+        // Popular movies get proportionally larger casts: popularity and
+        // connectivity correlate, as in the real data.
+        let pop = movie_pop.probability(movie_rank) * cfg.movies as f64;
+        truth.set(movie, pop);
+        let cast_size = (cfg.avg_cast * (0.5 + pop.min(4.0) / 2.0)).round().max(1.0) as usize;
+
+        let mut cast: Vec<TupleId> = Vec::new();
+        if movie_rank > 0 && rng.gen::<f64>() < cfg.repeat_collaboration {
+            let prev = &casts[rng.gen_range(0..movie_rank)];
+            cast.extend(prev.iter().take(cast_size.min(3)).copied());
+        }
+        for i in 0..cast_size {
+            if cast.len() >= cast_size {
+                break;
+            }
+            let from_actors = i % 2 == 0 && !actors.is_empty() || actresses.is_empty();
+            let who = if from_actors {
+                actors[actor_pick.sample(&mut rng)]
+            } else {
+                actresses[actress_pick.sample(&mut rng)]
+            };
+            if cast.contains(&who) {
+                continue;
+            }
+            cast.push(who);
+        }
+        for &who in &cast {
+            let link = if who.table == tables.actor {
+                tables.actor_movie
+            } else {
+                tables.actress_movie
+            };
+            db.link(link, who, movie).expect("valid endpoints");
+        }
+        casts.push(cast);
+        if !directors.is_empty() {
+            let d = directors[director_pick.sample(&mut rng)];
+            db.link(tables.director_movie, d, movie).expect("valid endpoints");
+        }
+        if !producers.is_empty() && rng.gen_bool(0.8) {
+            let p = producers[producer_pick.sample(&mut rng)];
+            db.link(tables.producer_movie, p, movie).expect("valid endpoints");
+        }
+        if !companies.is_empty() {
+            let c = companies[company_pick.sample(&mut rng)];
+            db.link(tables.company_movie, c, movie).expect("valid endpoints");
+        }
+    }
+
+    db.validate().expect("generator produces consistent links");
+    ImdbData { db, tables, truth }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ImdbConfig {
+        ImdbConfig {
+            movies: 60,
+            actors: 40,
+            actresses: 30,
+            directors: 12,
+            producers: 10,
+            companies: 6,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_imdb(small());
+        let b = generate_imdb(small());
+        assert_eq!(a.db.tuple_count(), b.db.tuple_count());
+        assert_eq!(a.db.link_count(), b.db.link_count());
+        let ta = a.db.tuple_text(TupleId::new(a.tables.actor, 0)).unwrap();
+        let tb = b.db.tuple_text(TupleId::new(b.tables.actor, 0)).unwrap();
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_imdb(small());
+        let b = generate_imdb(ImdbConfig { seed: 43, ..small() });
+        let ta = a.db.tuple_text(TupleId::new(a.tables.movie, 0)).unwrap();
+        let tb = b.db.tuple_text(TupleId::new(b.tables.movie, 0)).unwrap();
+        assert!(ta != tb || a.db.link_count() != b.db.link_count());
+    }
+
+    #[test]
+    fn sizes_match_config() {
+        let d = generate_imdb(small());
+        assert_eq!(d.db.row_count(d.tables.movie).unwrap(), 60);
+        assert_eq!(d.db.row_count(d.tables.actor).unwrap(), 40);
+        assert_eq!(d.db.row_count(d.tables.actress).unwrap(), 30);
+        // Every movie has a director and a company; producers ~80%.
+        let dm = d.db.link_set(d.tables.director_movie).unwrap().len();
+        assert_eq!(dm, 60);
+    }
+
+    #[test]
+    fn popularity_is_skewed() {
+        let d = generate_imdb(small());
+        // Rank-0 movie must be far more popular than the tail.
+        let head = d.truth.get(TupleId::new(d.tables.movie, 0));
+        let tail = d.truth.get(TupleId::new(d.tables.movie, 59));
+        assert!(head > 5.0 * tail, "head {head} vs tail {tail}");
+    }
+
+    #[test]
+    fn popular_actors_star_more() {
+        let d = generate_imdb(ImdbConfig { movies: 200, ..small() });
+        let links = d.db.link_set(d.tables.actor_movie).unwrap();
+        let mut counts = vec![0usize; 40];
+        for &(a, _) in links.pairs() {
+            counts[a as usize] += 1;
+        }
+        let head: usize = counts[..5].iter().sum();
+        let tail: usize = counts[35..].iter().sum();
+        assert!(head > 3 * tail.max(1), "head {head}, tail {tail}");
+    }
+
+    #[test]
+    fn ground_truth_covers_all_tuples() {
+        let d = generate_imdb(small());
+        assert_eq!(d.truth.len(), d.db.tuple_count());
+    }
+}

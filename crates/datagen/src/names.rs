@@ -1,0 +1,145 @@
+//! Name and title pools.
+//!
+//! Pools are intentionally small relative to the entity counts so that
+//! last names collide — keyword queries like `"bloom mortensen"` must hit
+//! several people, otherwise ranking would be trivial. All pools are
+//! synthetic coinages (no real-world names).
+
+use rand::Rng;
+
+pub(crate) const FIRST_NAMES: &[&str] = &[
+    "alden", "berit", "casimir", "delia", "edmund", "fiora", "gustav", "henrike", "ivo",
+    "jessa", "konrad", "lisbet", "milo", "nadia", "osric", "petra", "quentin", "ramona",
+    "soren", "tilda", "ulric", "vera", "wendel", "xenia", "yorick", "zelda", "ansel",
+    "brielle", "cormac", "dorian",
+];
+
+pub(crate) const LAST_NAMES: &[&str] = &[
+    "ashford", "blackwell", "crane", "dunmore", "elbaz", "fenwick", "grimaldi", "holloway",
+    "ingram", "jarvis", "kessler", "lockhart", "merriweather", "northgate", "okafor",
+    "pemberton", "quill", "ravenscroft", "silvestri", "thackeray", "underhill", "vantassel",
+    "whitlock", "yardley", "zacharias", "abernathy", "bellweather", "calloway", "driscoll",
+    "eastmoor", "farrington", "goldsmith", "harrowgate", "ivanson", "jessup", "kirkbride",
+    "lanester", "mcallister", "nightingale", "osgood", "prendergast", "quimby", "rockwell",
+    "sandoval", "tremaine", "upshaw", "vanderbilt", "westerfield", "yancey", "zimmerle",
+    "applegate", "birchwood", "colfax", "darrow", "ellsworth", "fairbanks", "greenholt",
+    "hollister", "ironwood", "jagger", "knolls", "larkspur", "montclair", "norwood",
+    "oakhurst", "pinewhistle", "quarry", "redfern", "stonebridge", "thornfield", "umberto",
+    "vexley", "wyndham", "yarrow", "zeller", "ashcombe", "brackenridge", "cresswell",
+    "dunwiddie", "emberly", "foxworth", "gladstone", "havisham", "inglewood", "jorvik",
+    "kentwell", "longfellow", "marchbanks", "netherfield", "ormsby", "penhaligon",
+    "quicksilver", "ridgemont", "summerisle", "tattershall", "uxbridge", "veracruz",
+    "winterbourne", "yellowley", "zephyrine", "aldercroft", "bramblewood", "copperfield",
+    "dovetail", "evermore", "fernsby", "gatwick", "heathcliff", "islington", "juniper",
+    "kingsley", "lockwood", "mistlethorpe", "nantucket", "overbrook", "pemberley",
+    "quillfeather", "rosemont", "silverton", "thistledown", "underwood", "vicarstown",
+    "whitmore", "yorkfield", "zedler",
+];
+
+pub(crate) const TITLE_ADJECTIVES: &[&str] = &[
+    "crimson", "silent", "forgotten", "electric", "midnight", "golden", "savage", "hidden",
+    "burning", "frozen", "restless", "shattered", "velvet", "hollow", "radiant", "broken",
+];
+
+pub(crate) const TITLE_NOUNS: &[&str] = &[
+    "horizon", "empire", "reckoning", "garden", "covenant", "voyage", "labyrinth", "sentinel",
+    "harvest", "monolith", "paradox", "tempest", "masquerade", "citadel", "orchard", "eclipse",
+];
+
+pub(crate) const TOPIC_WORDS: &[&str] = &[
+    "adaptive", "indexing", "distributed", "query", "optimization", "streaming", "transactional",
+    "graph", "keyword", "search", "ranking", "caching", "parallel", "consensus", "columnar",
+    "storage", "sampling", "learned", "approximate", "federated", "temporal", "spatial",
+    "provenance", "compression", "vectorized",
+];
+
+pub(crate) const COMPANY_WORDS: &[&str] = &[
+    "titanfall", "silverlake", "northwind", "ironbridge", "bluecrest", "stormlight",
+    "eastgate", "redwood", "clearwater", "monarch",
+];
+
+pub(crate) const CONFERENCE_NAMES: &[&str] = &[
+    "symposium on data engineering", "conference on very large databases",
+    "workshop on keyword search", "conference on information management",
+    "symposium on database theory", "conference on web data", "workshop on graph systems",
+    "conference on knowledge discovery", "symposium on storage systems",
+    "workshop on query processing", "conference on distributed data",
+    "symposium on information retrieval",
+];
+
+/// Draws a full person name; collisions in last names (and occasionally
+/// full names) are expected and desired.
+pub(crate) fn person_name<R: Rng>(rng: &mut R) -> String {
+    let first = FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())];
+    let last = LAST_NAMES[rng.gen_range(0..LAST_NAMES.len())];
+    format!("{first} {last}")
+}
+
+/// Draws a movie title of variable length, e.g. `"the crimson horizon"`
+/// or `"the silent golden empire"`. Length variation matters: SPARK's
+/// pivoted length normalization reacts to it (§II-B of the paper).
+pub(crate) fn movie_title<R: Rng>(rng: &mut R) -> String {
+    let noun = TITLE_NOUNS[rng.gen_range(0..TITLE_NOUNS.len())];
+    let mut title = "the".to_string();
+    for _ in 0..rng.gen_range(1..=2) {
+        title.push(' ');
+        title.push_str(TITLE_ADJECTIVES[rng.gen_range(0..TITLE_ADJECTIVES.len())]);
+    }
+    title.push(' ');
+    title.push_str(noun);
+    title
+}
+
+/// Draws a paper title of 4–8 topic words, e.g.
+/// `"adaptive keyword ranking for graph storage"`.
+pub(crate) fn paper_title<R: Rng>(rng: &mut R) -> String {
+    let pick = |rng: &mut R| TOPIC_WORDS[rng.gen_range(0..TOPIC_WORDS.len())];
+    let mut title = format!("{} {} {}", pick(rng), pick(rng), pick(rng));
+    title.push_str(" for");
+    for _ in 0..rng.gen_range(1..=4) {
+        title.push(' ');
+        title.push_str(pick(rng));
+    }
+    title
+}
+
+/// Draws a production-company name.
+pub(crate) fn company_name<R: Rng>(rng: &mut R) -> String {
+    let word = COMPANY_WORDS[rng.gen_range(0..COMPANY_WORDS.len())];
+    format!("{word} pictures")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn names_are_deterministic_per_seed() {
+        let a = person_name(&mut StdRng::seed_from_u64(5));
+        let b = person_name(&mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn last_names_collide_at_scale() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let names: Vec<String> = (0..200).map(|_| person_name(&mut rng)).collect();
+        let lasts: std::collections::HashSet<&str> =
+            names.iter().map(|n| n.split(' ').nth(1).unwrap()).collect();
+        assert!(lasts.len() < 200, "collisions must occur");
+        assert!(lasts.len() <= LAST_NAMES.len());
+    }
+
+    #[test]
+    fn titles_have_expected_shape() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = movie_title(&mut rng);
+        assert!(t.starts_with("the "));
+        assert!((3..=4).contains(&t.split(' ').count()));
+        let p = paper_title(&mut rng);
+        assert!((5..=9).contains(&p.split(' ').count()));
+        assert!(company_name(&mut rng).ends_with(" pictures"));
+    }
+}

@@ -1,0 +1,391 @@
+use ci_storage::{LinkId, TableId, TupleId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dblp::DblpData;
+use crate::imdb::ImdbData;
+
+/// Structural class of a generated query — the dimension the paper's §VI
+/// query mixes are defined over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryPattern {
+    /// Both keywords match a single node (e.g. a person's full name).
+    Single,
+    /// Two keywords matching two directly connected nodes.
+    AdjacentPair,
+    /// Two keywords whose matchers need a free connector node
+    /// (e.g. two co-stars joined by a movie).
+    DistantPair,
+    /// Three keywords matching three nodes around a shared connector.
+    Triple,
+}
+
+/// A generated keyword query with its provenance.
+#[derive(Debug, Clone)]
+pub struct LabeledQuery {
+    /// The query keywords (already lowercase tokens).
+    pub keywords: Vec<String>,
+    /// The structural pattern it was generated from.
+    pub pattern: QueryPattern,
+    /// The tuples the generator sampled when forming the query (the
+    /// "intended" entities; ranking quality is judged against ground-truth
+    /// popularity, not against these).
+    pub seed_tuples: Vec<TupleId>,
+}
+
+/// The AOL-like "user log" mix of §VI: most complex queries match two
+/// directly connected nodes; only 11.4% require free connector nodes.
+pub fn imdb_user_log_workload(data: &ImdbData, n: usize, seed: u64) -> Vec<LabeledQuery> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let r = i as f64 / n.max(1) as f64;
+        let pattern = if r < 0.114 {
+            QueryPattern::DistantPair
+        } else if r < 0.55 {
+            QueryPattern::AdjacentPair
+        } else {
+            QueryPattern::Single
+        };
+        if let Some(q) = imdb_query(data, pattern, &mut rng) {
+            out.push(q);
+        }
+    }
+    out
+}
+
+/// The synthetic mix of §VI: 50% non-adjacent matcher pairs, 20% queries
+/// covering three or more non-free nodes, 30% single-node or adjacent.
+pub fn imdb_synthetic_workload(data: &ImdbData, n: usize, seed: u64) -> Vec<LabeledQuery> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    synthetic_mix(n, &mut rng, |pattern, rng| imdb_query(data, pattern, rng))
+}
+
+/// The DBLP workload uses the same synthetic mix (the AOL log contains no
+/// DBLP queries — §VI).
+pub fn dblp_workload(data: &DblpData, n: usize, seed: u64) -> Vec<LabeledQuery> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    synthetic_mix(n, &mut rng, |pattern, rng| dblp_query(data, pattern, rng))
+}
+
+fn synthetic_mix(
+    n: usize,
+    rng: &mut StdRng,
+    mut gen: impl FnMut(QueryPattern, &mut StdRng) -> Option<LabeledQuery>,
+) -> Vec<LabeledQuery> {
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let r = i as f64 / n.max(1) as f64;
+        let pattern = if r < 0.5 {
+            QueryPattern::DistantPair
+        } else if r < 0.7 {
+            QueryPattern::Triple
+        } else if r < 0.85 {
+            QueryPattern::Single
+        } else {
+            QueryPattern::AdjacentPair
+        };
+        if let Some(q) = gen(pattern, rng) {
+            out.push(q);
+        }
+    }
+    out
+}
+
+const ATTEMPTS: usize = 200;
+
+fn imdb_query(data: &ImdbData, pattern: QueryPattern, rng: &mut StdRng) -> Option<LabeledQuery> {
+    let t = &data.tables;
+    match pattern {
+        QueryPattern::Single => {
+            person_single(&data.db, &[t.actor, t.actress, t.director], rng, pattern)
+        }
+        QueryPattern::AdjacentPair => {
+            // cast-member last name + a title word of one of their movies.
+            let links = pick_links(&data.db, &[t.actor_movie, t.actress_movie], rng)?;
+            let (person, movie) = links;
+            let last = last_name(&data.db.tuple_text(person).ok()?)?;
+            let title = data.db.tuple_text(movie).ok()?;
+            let word = distinctive_title_word(&title, rng)?;
+            Some(LabeledQuery {
+                keywords: vec![last, word],
+                pattern,
+                seed_tuples: vec![person, movie],
+            })
+        }
+        QueryPattern::DistantPair => {
+            let (a, b, movie) = co_entities(&data.db, &[t.actor_movie, t.actress_movie], 2, rng)
+                .map(|(mut v, m)| (v.remove(0), v.remove(0), m))?;
+            let la = last_name(&data.db.tuple_text(a).ok()?)?;
+            let lb = last_name(&data.db.tuple_text(b).ok()?)?;
+            if la == lb {
+                return None;
+            }
+            Some(LabeledQuery {
+                keywords: vec![la, lb],
+                pattern,
+                seed_tuples: vec![a, b, movie],
+            })
+        }
+        QueryPattern::Triple => {
+            let (people, movie) = co_entities(&data.db, &[t.actor_movie, t.actress_movie], 3, rng)?;
+            let mut keywords = Vec::new();
+            for &p in &people {
+                let l = last_name(&data.db.tuple_text(p).ok()?)?;
+                if keywords.contains(&l) {
+                    return None;
+                }
+                keywords.push(l);
+            }
+            let mut seed_tuples = people;
+            seed_tuples.push(movie);
+            Some(LabeledQuery { keywords, pattern, seed_tuples })
+        }
+    }
+}
+
+fn dblp_query(data: &DblpData, pattern: QueryPattern, rng: &mut StdRng) -> Option<LabeledQuery> {
+    let t = &data.tables;
+    match pattern {
+        QueryPattern::Single => person_single(&data.db, &[t.author], rng, pattern),
+        QueryPattern::AdjacentPair => {
+            let (author, paper) = pick_links(&data.db, &[t.author_paper], rng)?;
+            let last = last_name(&data.db.tuple_text(author).ok()?)?;
+            let title = data.db.tuple_text(paper).ok()?;
+            let word = distinctive_title_word(&title, rng)?;
+            Some(LabeledQuery {
+                keywords: vec![last, word],
+                pattern,
+                seed_tuples: vec![author, paper],
+            })
+        }
+        QueryPattern::DistantPair => {
+            let (mut authors, paper) = co_entities(&data.db, &[t.author_paper], 2, rng)?;
+            let la = last_name(&data.db.tuple_text(authors[0]).ok()?)?;
+            let lb = last_name(&data.db.tuple_text(authors[1]).ok()?)?;
+            if la == lb {
+                return None;
+            }
+            let (a, b) = (authors.remove(0), authors.remove(0));
+            Some(LabeledQuery {
+                keywords: vec![la, lb],
+                pattern,
+                seed_tuples: vec![a, b, paper],
+            })
+        }
+        QueryPattern::Triple => {
+            let (authors, paper) = co_entities(&data.db, &[t.author_paper], 3, rng)?;
+            let mut keywords = Vec::new();
+            for &a in &authors {
+                let l = last_name(&data.db.tuple_text(a).ok()?)?;
+                if keywords.contains(&l) {
+                    return None;
+                }
+                keywords.push(l);
+            }
+            let mut seed_tuples = authors;
+            seed_tuples.push(paper);
+            Some(LabeledQuery { keywords, pattern, seed_tuples })
+        }
+    }
+}
+
+/// A query from a single person's full name.
+fn person_single(
+    db: &ci_storage::Database,
+    tables: &[TableId],
+    rng: &mut StdRng,
+    pattern: QueryPattern,
+) -> Option<LabeledQuery> {
+    for _ in 0..ATTEMPTS {
+        let table = tables[rng.gen_range(0..tables.len())];
+        let rows = db.row_count(table).ok()?;
+        if rows == 0 {
+            continue;
+        }
+        let who = TupleId::new(table, rng.gen_range(0..rows as u32));
+        let text = db.tuple_text(who).ok()?;
+        let mut parts = text.split_whitespace();
+        let (first, last) = (parts.next()?, parts.next()?);
+        return Some(LabeledQuery {
+            keywords: vec![first.to_lowercase(), last.to_lowercase()],
+            pattern,
+            seed_tuples: vec![who],
+        });
+    }
+    None
+}
+
+/// A random (from, to) pair across the given link sets.
+fn pick_links(
+    db: &ci_storage::Database,
+    links: &[LinkId],
+    rng: &mut StdRng,
+) -> Option<(TupleId, TupleId)> {
+    for _ in 0..ATTEMPTS {
+        let lid = links[rng.gen_range(0..links.len())];
+        let set = db.link_set(lid).ok()?;
+        if set.is_empty() {
+            continue;
+        }
+        let &(f, t) = &set.pairs()[rng.gen_range(0..set.len())];
+        let def = set.def();
+        return Some((TupleId::new(def.from, f), TupleId::new(def.to, t)));
+    }
+    None
+}
+
+/// `count` distinct entities all linked to one shared target (movie or
+/// paper), plus that target.
+fn co_entities(
+    db: &ci_storage::Database,
+    links: &[LinkId],
+    count: usize,
+    rng: &mut StdRng,
+) -> Option<(Vec<TupleId>, TupleId)> {
+    for _ in 0..ATTEMPTS {
+        // Pick a random link, then gather siblings sharing its target.
+        let (_, target) = pick_links(db, links, rng)?;
+        let mut members = Vec::new();
+        for &lid in links {
+            let set = db.link_set(lid).ok()?;
+            let def = set.def();
+            if def.to != target.table {
+                continue;
+            }
+            for &(f, t) in set.pairs() {
+                if t == target.row {
+                    let m = TupleId::new(def.from, f);
+                    if !members.contains(&m) {
+                        members.push(m);
+                    }
+                }
+            }
+        }
+        if members.len() < count {
+            continue;
+        }
+        // Deterministic shuffle-pick.
+        let mut picked = Vec::with_capacity(count);
+        while picked.len() < count {
+            let m = members.remove(rng.gen_range(0..members.len()));
+            picked.push(m);
+        }
+        return Some((picked, target));
+    }
+    None
+}
+
+fn last_name(text: &str) -> Option<String> {
+    text.split_whitespace().nth(1).map(|s| s.to_lowercase())
+}
+
+/// A title word other than stopwords like "the"/"for".
+fn distinctive_title_word(title: &str, rng: &mut StdRng) -> Option<String> {
+    let words: Vec<&str> = title
+        .split_whitespace()
+        .filter(|w| w.len() > 3 && *w != "the")
+        .collect();
+    if words.is_empty() {
+        return None;
+    }
+    Some(words[rng.gen_range(0..words.len())].to_lowercase())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate_dblp, generate_imdb, DblpConfig, ImdbConfig};
+
+    fn imdb() -> ImdbData {
+        generate_imdb(ImdbConfig {
+            movies: 80,
+            actors: 50,
+            actresses: 40,
+            directors: 15,
+            producers: 10,
+            companies: 8,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn user_log_mix_proportions() {
+        let data = imdb();
+        let qs = imdb_user_log_workload(&data, 100, 7);
+        assert!(qs.len() >= 90, "most attempts succeed, got {}", qs.len());
+        let distant = qs
+            .iter()
+            .filter(|q| q.pattern == QueryPattern::DistantPair)
+            .count();
+        // ≈ 11.4% need free nodes.
+        assert!((8..=15).contains(&distant), "distant count {distant}");
+    }
+
+    #[test]
+    fn synthetic_mix_proportions() {
+        let data = imdb();
+        let qs = imdb_synthetic_workload(&data, 100, 7);
+        let distant = qs
+            .iter()
+            .filter(|q| q.pattern == QueryPattern::DistantPair)
+            .count();
+        let triple = qs.iter().filter(|q| q.pattern == QueryPattern::Triple).count();
+        assert!(distant >= 40, "≈50% distant, got {distant}");
+        assert!(triple >= 12, "≈20% triple, got {triple}");
+    }
+
+    #[test]
+    fn keywords_are_lowercase_tokens() {
+        let data = imdb();
+        for q in imdb_synthetic_workload(&data, 50, 3) {
+            for k in &q.keywords {
+                assert!(!k.is_empty());
+                assert_eq!(k, &k.to_lowercase());
+                assert!(!k.contains(' '));
+            }
+        }
+    }
+
+    #[test]
+    fn triple_queries_have_three_distinct_keywords() {
+        let data = imdb();
+        for q in imdb_synthetic_workload(&data, 60, 11) {
+            if q.pattern == QueryPattern::Triple {
+                assert_eq!(q.keywords.len(), 3);
+                let mut k = q.keywords.clone();
+                k.dedup();
+                assert_eq!(k.len(), 3);
+            }
+        }
+    }
+
+    #[test]
+    fn dblp_workload_generates() {
+        let data = generate_dblp(DblpConfig {
+            papers: 150,
+            authors: 80,
+            conferences: 6,
+            ..Default::default()
+        });
+        let qs = dblp_workload(&data, 40, 5);
+        assert!(qs.len() >= 30);
+        // Every seed tuple must exist.
+        for q in &qs {
+            for &s in &q.seed_tuples {
+                assert!(data.db.tuple(s).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let data = imdb();
+        let a = imdb_user_log_workload(&data, 20, 9);
+        let b = imdb_user_log_workload(&data, 20, 9);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.keywords, y.keywords);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+use std::collections::HashMap;
+
+use ci_storage::{Database, TupleId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::GroundTruth;
+
+/// A uniformly sampled database together with the tuple-id remapping.
+pub struct SampledDatabase {
+    /// The sampled database (same schemas and link definitions).
+    pub db: Database,
+    /// Mapping from original tuple ids to sampled tuple ids.
+    pub kept: HashMap<TupleId, TupleId>,
+}
+
+impl SampledDatabase {
+    /// Projects a ground truth onto the sample.
+    pub fn project_truth(&self, truth: &GroundTruth) -> GroundTruth {
+        let mut out = GroundTruth::default();
+        for (&old, &new) in &self.kept {
+            out.set(new, truth.get(old));
+        }
+        out
+    }
+}
+
+/// Keeps each tuple independently with probability `fraction`; links
+/// survive iff both endpoints do. This is the paper's Fig. 10 setup
+/// ("uniform samples of the original datasets, with the size of each being
+/// 10% of the original").
+pub fn sample_database(db: &Database, fraction: f64, seed: u64) -> SampledDatabase {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must lie in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Database::new();
+    // Recreate schemas in order (table ids are preserved).
+    for t in db.table_ids() {
+        let schema = db.schema(t).expect("table exists").clone();
+        let nt = out.add_table(schema);
+        debug_assert_eq!(nt, t);
+    }
+    let mut kept: HashMap<TupleId, TupleId> = HashMap::new();
+    for old in db.all_tuples() {
+        if rng.gen::<f64>() < fraction {
+            let values = db.tuple(old).expect("tuple exists").values().to_vec();
+            let new = out.insert(old.table, values).expect("same schema");
+            kept.insert(old, new);
+        }
+    }
+    for set in db.link_sets() {
+        let def = set.def().clone();
+        let lid = out
+            .add_link(def.from, def.to, def.name.clone())
+            .expect("tables recreated");
+        for &(f, t) in set.pairs() {
+            let of = TupleId::new(def.from, f);
+            let ot = TupleId::new(def.to, t);
+            if let (Some(&nf), Some(&nt)) = (kept.get(&of), kept.get(&ot)) {
+                out.link(lid, nf, nt).expect("kept endpoints");
+            }
+        }
+    }
+    out.validate().expect("sampling preserves integrity");
+    SampledDatabase { db: out, kept }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate_dblp, DblpConfig};
+
+    fn data() -> crate::DblpData {
+        generate_dblp(DblpConfig {
+            papers: 200,
+            authors: 100,
+            conferences: 8,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn ten_percent_sample_is_roughly_ten_percent() {
+        let d = data();
+        let s = sample_database(&d.db, 0.1, 1);
+        let frac = s.db.tuple_count() as f64 / d.db.tuple_count() as f64;
+        assert!((0.05..=0.16).contains(&frac), "fraction {frac}");
+        assert!(s.db.link_count() < d.db.link_count() / 4);
+    }
+
+    #[test]
+    fn full_sample_is_identity() {
+        let d = data();
+        let s = sample_database(&d.db, 1.0, 1);
+        assert_eq!(s.db.tuple_count(), d.db.tuple_count());
+        assert_eq!(s.db.link_count(), d.db.link_count());
+    }
+
+    #[test]
+    fn empty_sample() {
+        let d = data();
+        let s = sample_database(&d.db, 0.0, 1);
+        assert_eq!(s.db.tuple_count(), 0);
+        assert_eq!(s.db.link_count(), 0);
+    }
+
+    #[test]
+    fn kept_tuples_preserve_text() {
+        let d = data();
+        let s = sample_database(&d.db, 0.3, 5);
+        for (&old, &new) in s.kept.iter().take(50) {
+            assert_eq!(
+                d.db.tuple_text(old).unwrap(),
+                s.db.tuple_text(new).unwrap()
+            );
+            assert_eq!(old.table, new.table);
+        }
+    }
+
+    #[test]
+    fn truth_projection_preserves_values() {
+        let d = data();
+        let s = sample_database(&d.db, 0.5, 7);
+        let t = s.project_truth(&d.truth);
+        assert_eq!(t.len(), s.db.tuple_count());
+        for (&old, &new) in s.kept.iter().take(20) {
+            assert_eq!(t.get(new), d.truth.get(old));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d = data();
+        let a = sample_database(&d.db, 0.2, 3);
+        let b = sample_database(&d.db, 0.2, 3);
+        assert_eq!(a.db.tuple_count(), b.db.tuple_count());
+        assert_eq!(a.db.link_count(), b.db.link_count());
+    }
+}

@@ -1,0 +1,133 @@
+//! Workload persistence: save and reload generated query workloads so an
+//! evaluation can be repeated against a frozen query set (the paper's 44
+//! AOL queries played this role).
+//!
+//! Format, one query per line:
+//!
+//! ```text
+//! <pattern>\t<keyword keyword …>\t<seed_tuple …>
+//! ```
+//!
+//! with seed tuples as `table:row` pairs.
+
+use std::io::{self, BufRead, Write};
+
+use ci_storage::{TableId, TupleId};
+
+use crate::queries::{LabeledQuery, QueryPattern};
+
+/// Writes a workload as text.
+pub fn save_workload(queries: &[LabeledQuery], out: &mut impl Write) -> io::Result<()> {
+    for q in queries {
+        let pattern = pattern_name(q.pattern);
+        let seeds: Vec<String> = q
+            .seed_tuples
+            .iter()
+            .map(|t| format!("{}:{}", t.table.0, t.row))
+            .collect();
+        writeln!(out, "{pattern}\t{}\t{}", q.keywords.join(" "), seeds.join(" "))?;
+    }
+    Ok(())
+}
+
+/// Reads a workload written by [`save_workload`]. Returns a descriptive
+/// error string with the offending line number on malformed input.
+pub fn load_workload(input: &mut impl BufRead) -> Result<Vec<LabeledQuery>, String> {
+    let mut out = Vec::new();
+    for (no, line) in input.lines().enumerate() {
+        let line = line.map_err(|e| format!("line {}: {e}", no + 1))?;
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.splitn(3, '\t');
+        let (pattern, keywords, seeds) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(p), Some(k), Some(s)) => (p, k, s),
+            _ => return Err(format!("line {}: expected 3 tab-separated fields", no + 1)),
+        };
+        let pattern = parse_pattern(pattern)
+            .ok_or_else(|| format!("line {}: unknown pattern {pattern:?}", no + 1))?;
+        let keywords: Vec<String> = keywords.split(' ').map(String::from).collect();
+        if keywords.iter().any(String::is_empty) {
+            return Err(format!("line {}: empty keyword", no + 1));
+        }
+        let mut seed_tuples = Vec::new();
+        for s in seeds.split(' ').filter(|s| !s.is_empty()) {
+            let (t, r) = s
+                .split_once(':')
+                .ok_or_else(|| format!("line {}: seed must be table:row", no + 1))?;
+            let table: u16 = t.parse().map_err(|_| format!("line {}: bad table id", no + 1))?;
+            let row: u32 = r.parse().map_err(|_| format!("line {}: bad row id", no + 1))?;
+            seed_tuples.push(TupleId::new(TableId(table), row));
+        }
+        out.push(LabeledQuery { keywords, pattern, seed_tuples });
+    }
+    Ok(out)
+}
+
+fn pattern_name(p: QueryPattern) -> &'static str {
+    match p {
+        QueryPattern::Single => "single",
+        QueryPattern::AdjacentPair => "adjacent",
+        QueryPattern::DistantPair => "distant",
+        QueryPattern::Triple => "triple",
+    }
+}
+
+fn parse_pattern(s: &str) -> Option<QueryPattern> {
+    match s {
+        "single" => Some(QueryPattern::Single),
+        "adjacent" => Some(QueryPattern::AdjacentPair),
+        "distant" => Some(QueryPattern::DistantPair),
+        "triple" => Some(QueryPattern::Triple),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate_dblp, dblp_workload, DblpConfig};
+
+    #[test]
+    fn roundtrip_generated_workload() {
+        let data = generate_dblp(DblpConfig {
+            papers: 80,
+            authors: 40,
+            conferences: 4,
+            ..Default::default()
+        });
+        let queries = dblp_workload(&data, 15, 3);
+        let mut buf = Vec::new();
+        save_workload(&queries, &mut buf).unwrap();
+        let loaded = load_workload(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.len(), queries.len());
+        for (a, b) in queries.iter().zip(&loaded) {
+            assert_eq!(a.keywords, b.keywords);
+            assert_eq!(a.pattern, b.pattern);
+            assert_eq!(a.seed_tuples, b.seed_tuples);
+        }
+    }
+
+    #[test]
+    fn malformed_lines_report_position() {
+        let cases = [
+            "not_enough_fields",
+            "bogus\tkw kw\t0:0",
+            "single\tkw\tnocolon",
+            "single\tkw\tx:y",
+        ];
+        for c in cases {
+            let err = load_workload(&mut c.as_bytes()).unwrap_err();
+            assert!(err.contains("line 1"), "{c:?} → {err}");
+        }
+    }
+
+    #[test]
+    fn empty_lines_skipped() {
+        let text = "single\tada crane\t2:0\n\ntriple\ta b c\t0:1 0:2 1:0\n";
+        let qs = load_workload(&mut text.as_bytes()).unwrap();
+        assert_eq!(qs.len(), 2);
+        assert_eq!(qs[1].keywords, vec!["a", "b", "c"]);
+        assert_eq!(qs[1].seed_tuples.len(), 3);
+    }
+}

@@ -1,0 +1,115 @@
+use rand::Rng;
+
+/// Zipf-distributed rank sampler: rank `r` (0-based) is drawn with
+/// probability proportional to `1 / (r + 1)^s`.
+///
+/// Entity popularity in both generators is Zipfian — the handful of
+/// blockbuster movies / heavily cited papers that CI-Rank is designed to
+/// surface sit at the head of this distribution.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// A sampler over `n ≥ 1` ranks with exponent `s ≥ 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1, "need at least one rank");
+        assert!(s >= 0.0, "exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 0..n {
+            acc += 1.0 / ((r + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for x in &mut cdf {
+            *x /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True if the sampler is over a single rank.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draws a rank in `0..n`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let x: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < x).min(self.cdf.len() - 1)
+    }
+
+    /// The probability weight of a rank (unnormalized weights are
+    /// `1/(r+1)^s`; this returns the normalized probability).
+    pub fn probability(&self, rank: usize) -> f64 {
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let z = Zipf::new(50, 1.0);
+        let total: f64 = (0..50).map(|r| z.probability(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn head_rank_dominates() {
+        let z = Zipf::new(100, 1.0);
+        assert!(z.probability(0) > z.probability(1));
+        assert!(z.probability(1) > z.probability(50));
+        // Rank 0 of a 1.0-exponent Zipf over 100 ranks is ≈ 19%.
+        assert!(z.probability(0) > 0.15 && z.probability(0) < 0.25);
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for r in 0..10 {
+            assert!((z.probability(r) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sampling_matches_distribution_roughly() {
+        let z = Zipf::new(10, 1.2);
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut counts = [0usize; 10];
+        let n = 20_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (r, &count) in counts.iter().enumerate() {
+            let observed = count as f64 / n as f64;
+            let expected = z.probability(r);
+            assert!(
+                (observed - expected).abs() < 0.02,
+                "rank {r}: observed {observed}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_rank() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert!((z.probability(0) - 1.0).abs() < 1e-12);
+    }
+}

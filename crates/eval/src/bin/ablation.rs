@@ -1,0 +1,7 @@
+//! Extension: scoring-function ablation (RWMP vs the rejected §III-B
+//! alternatives and the hybrid). Scale via `CI_RANK_SCALE`.
+
+fn main() {
+    let cfg = ci_eval::EvalConfig::from_env();
+    println!("{}", ci_eval::experiments::ablation_alternatives(&cfg));
+}

@@ -1,0 +1,35 @@
+//! Runs every experiment in sequence and prints each table — the full
+//! §VI reproduction in one command:
+//!
+//! ```text
+//! CI_RANK_SCALE=standard cargo run --release -p ci-eval --bin all_experiments
+//! ```
+
+fn main() {
+    let cfg = ci_eval::EvalConfig::from_env();
+    eprintln!("running all experiments at {:?} scale…", cfg.scale);
+
+    let h = ci_eval::Harness::build(cfg);
+    println!(
+        "{}",
+        ci_eval::stats::dataset_table(h.imdb_engine.graph(), h.dblp_engine.graph())
+    );
+    drop(h);
+
+    println!("{}", ci_eval::experiments::table2_weights());
+    println!("{}", ci_eval::experiments::table1_benefits());
+
+    let (fig8, fig9) = ci_eval::experiments::fig8_9_effectiveness(&cfg);
+    println!("{fig8}");
+    println!("{fig9}");
+
+    println!("{}", ci_eval::experiments::fig6_alpha(&cfg));
+    println!("{}", ci_eval::experiments::fig7_g(&cfg));
+
+    println!("{}", ci_eval::experiments::fig10_naive_vs_bnb(&cfg));
+    println!("{}", ci_eval::experiments::fig11_imdb_time(&cfg));
+    println!("{}", ci_eval::experiments::fig12_dblp_time(&cfg));
+
+    println!("{}", ci_eval::experiments::ablation_alternatives(&cfg));
+    println!("{}", ci_eval::experiments::patterns_breakdown(&cfg));
+}

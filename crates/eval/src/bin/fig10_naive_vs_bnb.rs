@@ -1,0 +1,7 @@
+//! Regenerates Fig. 10: naive vs branch-and-bound search time on 10%
+//! samples. Scale via `CI_RANK_SCALE`.
+
+fn main() {
+    let cfg = ci_eval::EvalConfig::from_env();
+    println!("{}", ci_eval::experiments::fig10_naive_vs_bnb(&cfg));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 11: IMDB search time vs diameter with and without the
+//! star index. Scale via `CI_RANK_SCALE`.
+
+fn main() {
+    let cfg = ci_eval::EvalConfig::from_env();
+    println!("{}", ci_eval::experiments::fig11_imdb_time(&cfg));
+}

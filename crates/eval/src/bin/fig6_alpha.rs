@@ -1,0 +1,6 @@
+//! Regenerates Fig. 6: MRR vs α. Scale via `CI_RANK_SCALE=smoke|standard|full`.
+
+fn main() {
+    let cfg = ci_eval::EvalConfig::from_env();
+    println!("{}", ci_eval::experiments::fig6_alpha(&cfg));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 7: MRR vs g. Scale via `CI_RANK_SCALE`.
+
+fn main() {
+    let cfg = ci_eval::EvalConfig::from_env();
+    println!("{}", ci_eval::experiments::fig7_g(&cfg));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Fig. 8: MRR of SPARK / BANKS / CI-Rank. Scale via
+//! `CI_RANK_SCALE`.
+
+fn main() {
+    let cfg = ci_eval::EvalConfig::from_env();
+    let (fig8, _) = ci_eval::experiments::fig8_9_effectiveness(&cfg);
+    println!("{fig8}");
+}

@@ -1,0 +1,6 @@
+//! Extension: MRR by query structure. Scale via `CI_RANK_SCALE`.
+
+fn main() {
+    let cfg = ci_eval::EvalConfig::from_env();
+    println!("{}", ci_eval::experiments::patterns_breakdown(&cfg));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table I: the four qualitative benefits of RWMP.
+
+fn main() {
+    println!("{}", ci_eval::experiments::table1_benefits());
+}

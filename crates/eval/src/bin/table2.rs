@@ -1,0 +1,5 @@
+//! Regenerates Table II: the active edge-weight configuration.
+
+fn main() {
+    println!("{}", ci_eval::experiments::table2_weights());
+}

@@ -1,0 +1,73 @@
+//! Extension experiment (not a numbered paper figure): quantitative
+//! comparison of RWMP against the three rejected §III-B alternatives and
+//! the future-work hybrid, on the DBLP workload.
+//!
+//! The paper argues qualitatively that each alternative has a fatal flaw
+//! (no cohesiveness, free-node domination, structural blindness); this
+//! experiment shows the impact on MRR/precision directly.
+
+use ci_rank::Ranker;
+use ci_rwmp::AlternativeScore;
+
+use crate::setup::{EvalConfig, Harness};
+use crate::table::Table;
+
+/// Runs the ablation and returns one row per scoring function.
+pub fn run(cfg: &EvalConfig) -> Table {
+    let h = Harness::build(*cfg);
+    let rankers = [
+        ("CI-Rank (RWMP)", Ranker::CiRank),
+        (
+            "avg non-free importance",
+            Ranker::Alternative(AlternativeScore::AvgNonFreeImportance),
+        ),
+        (
+            "avg all importance",
+            Ranker::Alternative(AlternativeScore::AvgAllImportance),
+        ),
+        (
+            "avg importance / size",
+            Ranker::Alternative(AlternativeScore::AvgImportancePerSize),
+        ),
+        ("hybrid (0.5 CI + 0.5 SPARK)", Ranker::Hybrid { ci_weight: 0.5 }),
+    ];
+    let ranker_list: Vec<Ranker> = rankers.iter().map(|&(_, r)| r).collect();
+    let res = h.effectiveness(&h.dblp_engine, &h.dblp.truth, &h.dblp_queries, &ranker_list);
+    let mut table = Table::new(
+        "ablation",
+        "Scoring-function ablation on DBLP (extension)",
+        vec!["scoring function", "mrr", "precision"],
+    );
+    for (i, (name, _)) in rankers.iter().enumerate() {
+        table.push_row(vec![
+            name.to_string(),
+            format!("{:.4}", res[i].mrr),
+            format!("{:.4}", res[i].precision),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::EvalScale;
+
+    #[test]
+    fn rwmp_dominates_the_rejected_alternatives() {
+        let cfg = EvalConfig { scale: EvalScale::Smoke, seed: 19 };
+        let t = run(&cfg);
+        assert_eq!(t.rows.len(), 5);
+        let mrr = |i: usize| t.rows[i][1].parse::<f64>().unwrap();
+        // RWMP at least matches every rejected alternative.
+        for alt in 1..=3 {
+            assert!(
+                mrr(0) >= mrr(alt) - 1e-9,
+                "RWMP {} vs alternative {} ({})",
+                mrr(0),
+                mrr(alt),
+                t.rows[alt][0]
+            );
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! One module per paper table/figure. Each exposes
+//! `run(cfg: &EvalConfig) -> Table` (or `-> Vec<Table>`), regenerating the
+//! corresponding rows/series. See DESIGN.md for the experiment index and
+//! EXPERIMENTS.md for recorded paper-vs-measured values.
+
+pub mod ablation;
+pub mod patterns;
+pub mod fig10;
+pub mod fig11_12;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8_9;
+pub mod table1;
+pub mod table2;
+
+pub use ablation::run as ablation_alternatives;
+pub use patterns::run as patterns_breakdown;
+pub use fig10::run as fig10_naive_vs_bnb;
+pub use fig11_12::run_dblp as fig12_dblp_time;
+pub use fig11_12::run_imdb as fig11_imdb_time;
+pub use fig6::run as fig6_alpha;
+pub use fig7::run as fig7_g;
+pub use fig8_9::run as fig8_9_effectiveness;
+pub use table1::run as table1_benefits;
+pub use table2::run as table2_weights;

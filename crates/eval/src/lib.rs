@@ -1,0 +1,29 @@
+//! Evaluation harness reproducing every table and figure of the paper's
+//! §VI (see DESIGN.md for the experiment index).
+//!
+//! The harness mirrors the paper's protocol:
+//!
+//! 1. generate the datasets (synthetic IMDB/DBLP — see the substitution
+//!    table in DESIGN.md) and the query workloads (§VI mixes);
+//! 2. per query, enumerate a ranking-agnostic candidate answer pool;
+//! 3. a simulated five-judge panel picks the *best answer(s)* by majority
+//!    vote using generator-side ground truth (with per-judge noise), and
+//!    assigns graded relevance levels;
+//! 4. every ranker (CI-Rank, SPARK, BANKS, …) re-ranks the same pool;
+//! 5. effectiveness is reported as mean reciprocal rank and graded
+//!    precision, efficiency as average search time.
+//!
+//! Each experiment lives in [`experiments`] and renders a [`Table`]; the
+//! `src/bin` entry points print them (`cargo run -p ci-eval --bin fig8_mrr`).
+
+pub mod experiments;
+mod judge;
+mod metrics;
+mod setup;
+pub mod stats;
+mod table;
+
+pub use judge::{judge_pool, JudgeConfig, Verdict};
+pub use metrics::{graded_precision, mean, mean_reciprocal_rank, reciprocal_rank};
+pub use setup::{effectiveness as effectiveness_runner, Effectiveness, EvalConfig, EvalScale, Harness};
+pub use table::Table;

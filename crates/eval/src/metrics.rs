@@ -1,0 +1,88 @@
+use std::collections::HashSet;
+
+use ci_rwmp::Jtt;
+
+/// Canonical identity of an answer tree (shared with `Jtt::canonical_key`).
+pub type TreeKey = ci_rwmp::CanonicalKey;
+
+/// Reciprocal rank: `1 / rank` of the first ranked tree whose canonical
+/// key is in `best`; 0 when none appears.
+pub fn reciprocal_rank(ranked: &[Jtt], best: &HashSet<TreeKey>) -> f64 {
+    for (i, t) in ranked.iter().enumerate() {
+        if best.contains(&t.canonical_key()) {
+            return 1.0 / (i + 1) as f64;
+        }
+    }
+    0.0
+}
+
+/// Mean of a sample (0 for an empty slice).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Mean reciprocal rank across queries.
+pub fn mean_reciprocal_rank(rrs: &[f64]) -> f64 {
+    mean(rrs)
+}
+
+/// Graded precision: the mean relevance grade of the returned answers
+/// (the paper's "fraction of the answers generated that are relevant",
+/// with graded relevance levels). `grade_of` maps a tree to its judged
+/// grade in `[0, 1]`.
+pub fn graded_precision(ranked: &[Jtt], grade_of: impl Fn(&Jtt) -> f64) -> f64 {
+    if ranked.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = ranked.iter().map(&grade_of).sum();
+    total / ranked.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ci_graph::NodeId;
+
+    fn tree(id: u32) -> Jtt {
+        Jtt::singleton(NodeId(id))
+    }
+
+    #[test]
+    fn reciprocal_rank_positions() {
+        let ranked = vec![tree(1), tree(2), tree(3)];
+        let best: HashSet<TreeKey> = [tree(2).canonical_key()].into_iter().collect();
+        assert_eq!(reciprocal_rank(&ranked, &best), 0.5);
+        let best_first: HashSet<TreeKey> = [tree(1).canonical_key()].into_iter().collect();
+        assert_eq!(reciprocal_rank(&ranked, &best_first), 1.0);
+        let missing: HashSet<TreeKey> = [tree(9).canonical_key()].into_iter().collect();
+        assert_eq!(reciprocal_rank(&ranked, &missing), 0.0);
+    }
+
+    #[test]
+    fn ties_accept_any_best() {
+        let ranked = vec![tree(5), tree(6)];
+        let best: HashSet<TreeKey> = [tree(6).canonical_key(), tree(5).canonical_key()]
+            .into_iter()
+            .collect();
+        assert_eq!(reciprocal_rank(&ranked, &best), 1.0);
+    }
+
+    #[test]
+    fn mean_handles_empty() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[0.5, 1.0]), 0.75);
+        assert_eq!(mean_reciprocal_rank(&[1.0, 0.5, 0.0]), 0.5);
+    }
+
+    #[test]
+    fn graded_precision_averages_grades() {
+        let ranked = vec![tree(1), tree(2)];
+        let p = graded_precision(&ranked, |t| if t.node(0) == NodeId(1) { 1.0 } else { 0.5 });
+        assert_eq!(p, 0.75);
+        assert_eq!(graded_precision(&[], |_| 1.0), 0.0);
+    }
+}

@@ -1,0 +1,99 @@
+use std::fmt;
+
+/// A rendered experiment result: the rows of one paper table or the series
+/// behind one paper figure.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Experiment id, e.g. `"fig8"`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table.
+    pub fn new(id: impl Into<String>, title: impl Into<String>, headers: Vec<&str>) -> Self {
+        Table {
+            id: id.into(),
+            title: title.into(),
+            headers: headers.into_iter().map(String::from).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; the arity must match the headers.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Serializes as CSV (headers first).
+    pub fn to_csv(&self) -> String {
+        let mut out = self.headers.join(",");
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&r.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} — {} ==", self.id, self.title)?;
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, c) in cells.iter().enumerate() {
+                write!(f, "| {:width$} ", c, width = widths[i])?;
+            }
+            writeln!(f, "|")
+        };
+        line(f, &self.headers)?;
+        let total: usize = widths.iter().map(|w| w + 3).sum::<usize>() + 1;
+        writeln!(f, "{}", "-".repeat(total))?;
+        for r in &self.rows {
+            line(f, r)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("fig0", "demo", vec!["method", "mrr"]);
+        t.push_row(vec!["CI-Rank".into(), "0.85".into()]);
+        t.push_row(vec!["SPARK".into(), "0.79".into()]);
+        let s = t.to_string();
+        assert!(s.contains("fig0"));
+        assert!(s.contains("| CI-Rank |"));
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let mut t = Table::new("x", "y", vec!["a", "b"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new("x", "y", vec!["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+}

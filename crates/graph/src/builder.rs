@@ -1,0 +1,166 @@
+use ci_storage::TupleId;
+
+use crate::csr::{Graph, NodeId};
+
+/// Incremental builder for [`Graph`].
+///
+/// Connections are usually added with [`GraphBuilder::add_pair`], which
+/// inserts both directed edges of a foreign-key relationship at once (the
+/// paper models every connection as a forward and a backward edge with
+/// independent weights).
+#[derive(Default)]
+pub struct GraphBuilder {
+    edges: Vec<(u32, u32, f64)>,
+    node_tuples: Vec<Vec<TupleId>>,
+    node_relation: Vec<u16>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        GraphBuilder::default()
+    }
+
+    /// Adds a node with a relation tag and the tuples it represents.
+    pub fn add_node(&mut self, relation: u16, tuples: Vec<TupleId>) -> NodeId {
+        let id = NodeId(self.node_tuples.len() as u32);
+        self.node_tuples.push(tuples);
+        self.node_relation.push(relation);
+        id
+    }
+
+    /// Appends an extra tuple to an existing node (used by the person merge).
+    pub fn merge_tuple(&mut self, node: NodeId, tuple: TupleId) {
+        self.node_tuples[node.idx()].push(tuple);
+    }
+
+    /// Adds a single directed edge with a raw weight. Weights must be
+    /// strictly positive; zero-weight edges carry neither surfers nor
+    /// messages and are rejected.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, weight: f64) {
+        assert!(weight > 0.0, "edge weights must be positive, got {weight}");
+        assert!(from.idx() < self.node_tuples.len(), "unknown source node");
+        assert!(to.idx() < self.node_tuples.len(), "unknown target node");
+        self.edges.push((from.0, to.0, weight));
+    }
+
+    /// Adds both directions of a connection: `a → b` with `w_forward` and
+    /// `b → a` with `w_backward`.
+    pub fn add_pair(&mut self, a: NodeId, b: NodeId, w_forward: f64, w_backward: f64) {
+        self.add_edge(a, b, w_forward);
+        self.add_edge(b, a, w_backward);
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.node_tuples.len()
+    }
+
+    /// Finalizes the graph: sorts adjacency, removes duplicate parallel
+    /// edges (keeping the maximum weight), and computes normalized weights.
+    pub fn build(self) -> Graph {
+        let n = self.node_tuples.len();
+        let mut edges = self.edges;
+        edges.sort_unstable_by_key(|&(from, to, _)| (from, to));
+        // Collapse parallel edges, keeping the strongest. Parallel edges
+        // arise e.g. when a merged person both directs and acts in the same
+        // movie (§VI-A keeps distinct edges conceptually; operationally the
+        // strongest connection dominates both the walk and the splits).
+        edges.dedup_by(|next, prev| {
+            if next.0 == prev.0 && next.1 == prev.1 {
+                prev.2 = prev.2.max(next.2);
+                true
+            } else {
+                false
+            }
+        });
+
+        let mut offsets = vec![0u32; n + 1];
+        for &(from, _, _) in &edges {
+            offsets[from as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let targets: Vec<u32> = edges.iter().map(|e| e.1).collect();
+        let weights: Vec<f64> = edges.iter().map(|e| e.2).collect();
+
+        let mut norm_weights = vec![0.0; weights.len()];
+        for v in 0..n {
+            let (a, b) = (offsets[v] as usize, offsets[v + 1] as usize);
+            let sum: f64 = weights[a..b].iter().sum();
+            if sum > 0.0 {
+                for i in a..b {
+                    norm_weights[i] = weights[i] / sum;
+                }
+            }
+        }
+
+        Graph {
+            offsets,
+            targets,
+            weights,
+            norm_weights,
+            node_tuples: self.node_tuples,
+            node_relation: self.node_relation,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ci_storage::TableId;
+
+    #[test]
+    fn parallel_edges_keep_max_weight() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node(0, vec![]);
+        let y = b.add_node(0, vec![]);
+        b.add_edge(x, y, 0.5);
+        b.add_edge(x, y, 1.0);
+        b.add_edge(x, y, 0.2);
+        let g = b.build();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.edge_weight(x, y), Some(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_weight_rejected() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node(0, vec![]);
+        let y = b.add_node(0, vec![]);
+        b.add_edge(x, y, 0.0);
+    }
+
+    #[test]
+    fn merge_tuple_appends() {
+        let mut b = GraphBuilder::new();
+        let t0 = TupleId::new(TableId(1), 0);
+        let t1 = TupleId::new(TableId(3), 7);
+        let v = b.add_node(1, vec![t0]);
+        b.merge_tuple(v, t1);
+        let g = b.build();
+        assert_eq!(g.tuples(v), &[t0, t1]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn asymmetric_pair() {
+        let mut b = GraphBuilder::new();
+        let citing = b.add_node(0, vec![]);
+        let cited = b.add_node(0, vec![]);
+        // Table II: citing → cited 0.5, cited → citing 0.1.
+        b.add_pair(citing, cited, 0.5, 0.1);
+        let g = b.build();
+        assert_eq!(g.edge_weight(citing, cited), Some(0.5));
+        assert_eq!(g.edge_weight(cited, citing), Some(0.1));
+    }
+}

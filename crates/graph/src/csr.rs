@@ -1,0 +1,227 @@
+use std::fmt;
+
+use ci_storage::TupleId;
+
+/// Identifies a node of the data graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node index as a `usize`.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A directed edge as seen from its source node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeRef {
+    /// Edge target.
+    pub to: NodeId,
+    /// Raw weight (Table II), used by RWMP splits.
+    pub weight: f64,
+    /// Weight normalized so a node's out-weights sum to 1 (random walk).
+    pub norm_weight: f64,
+}
+
+/// Immutable weighted directed graph in compressed-sparse-row form.
+///
+/// Built by [`crate::GraphBuilder`]. Adjacency lists are sorted by target so
+/// edge lookup is `O(log deg)`.
+pub struct Graph {
+    pub(crate) offsets: Vec<u32>,
+    pub(crate) targets: Vec<u32>,
+    pub(crate) weights: Vec<f64>,
+    pub(crate) norm_weights: Vec<f64>,
+    pub(crate) node_tuples: Vec<Vec<TupleId>>,
+    pub(crate) node_relation: Vec<u16>,
+}
+
+impl Graph {
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Iterates all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.node_count() as u32).map(NodeId)
+    }
+
+    /// Out-degree of a node.
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        let (a, b) = self.range(v);
+        b - a
+    }
+
+    /// Outgoing edges of `v`, sorted by target id.
+    pub fn edges(&self, v: NodeId) -> impl Iterator<Item = EdgeRef> + '_ {
+        let (a, b) = self.range(v);
+        (a..b).map(move |i| EdgeRef {
+            to: NodeId(self.targets[i]),
+            weight: self.weights[i],
+            norm_weight: self.norm_weights[i],
+        })
+    }
+
+    /// Neighbor node ids of `v` (targets of its out-edges). Because the
+    /// builder inserts both directions of every connection, this is also the
+    /// undirected neighborhood `N(v)` of the paper.
+    pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let (a, b) = self.range(v);
+        self.targets[a..b].iter().map(|&t| NodeId(t))
+    }
+
+    /// Raw weight of the directed edge `u → v`, if present.
+    pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        self.edge_index(u, v).map(|i| self.weights[i])
+    }
+
+    /// Normalized weight of the directed edge `u → v`, if present.
+    pub fn edge_norm_weight(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        self.edge_index(u, v).map(|i| self.norm_weights[i])
+    }
+
+    /// True if the directed edge `u → v` exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.edge_index(u, v).is_some()
+    }
+
+    /// The database tuples merged into this node. Usually a single tuple;
+    /// multiple after a person merge (§VI-A).
+    pub fn tuples(&self, v: NodeId) -> &[TupleId] {
+        &self.node_tuples[v.idx()]
+    }
+
+    /// Relation tag of the node (table id of its primary tuple).
+    pub fn relation(&self, v: NodeId) -> u16 {
+        self.node_relation[v.idx()]
+    }
+
+    /// Sum of raw weights of edges from `v` to nodes in `others` — the
+    /// denominator `Σ_{v_n ∈ N(v_j) ∩ V(T)} w_jn` of the message-passing
+    /// split rule.
+    pub fn weight_sum_to(&self, v: NodeId, others: &[NodeId]) -> f64 {
+        others
+            .iter()
+            .filter_map(|&o| self.edge_weight(v, o))
+            .sum()
+    }
+
+    fn range(&self, v: NodeId) -> (usize, usize) {
+        (
+            self.offsets[v.idx()] as usize,
+            self.offsets[v.idx() + 1] as usize,
+        )
+    }
+
+    fn edge_index(&self, u: NodeId, v: NodeId) -> Option<usize> {
+        let (a, b) = self.range(u);
+        self.targets[a..b]
+            .binary_search(&v.0)
+            .ok()
+            .map(|off| a + off)
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Graph")
+            .field("nodes", &self.node_count())
+            .field("edges", &self.edge_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn triangle() -> Graph {
+        let mut b = GraphBuilder::new();
+        let n0 = b.add_node(0, vec![]);
+        let n1 = b.add_node(0, vec![]);
+        let n2 = b.add_node(1, vec![]);
+        b.add_pair(n0, n1, 1.0, 0.5);
+        b.add_pair(n1, n2, 2.0, 1.0);
+        b.add_pair(n0, n2, 4.0, 1.0);
+        b.build()
+    }
+
+    #[test]
+    fn counts() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 6);
+    }
+
+    #[test]
+    fn edge_lookup() {
+        let g = triangle();
+        let (n0, n1, n2) = (NodeId(0), NodeId(1), NodeId(2));
+        assert_eq!(g.edge_weight(n0, n1), Some(1.0));
+        assert_eq!(g.edge_weight(n1, n0), Some(0.5));
+        assert_eq!(g.edge_weight(n1, n2), Some(2.0));
+        assert_eq!(g.edge_weight(n2, n1), Some(1.0));
+        assert!(g.has_edge(n0, n2));
+        assert_eq!(g.edge_weight(n2, n2), None);
+    }
+
+    #[test]
+    fn normalization_sums_to_one() {
+        let g = triangle();
+        for v in g.nodes() {
+            let s: f64 = g.edges(v).map(|e| e.norm_weight).sum();
+            assert!((s - 1.0).abs() < 1e-12, "node {v} norm sum {s}");
+        }
+        // n0 has out weights 1.0 and 4.0 → normalized 0.2 and 0.8.
+        assert!((g.edge_norm_weight(NodeId(0), NodeId(1)).unwrap() - 0.2).abs() < 1e-12);
+        assert!((g.edge_norm_weight(NodeId(0), NodeId(2)).unwrap() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let g = triangle();
+        let n: Vec<_> = g.neighbors(NodeId(0)).collect();
+        assert_eq!(n, vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn weight_sum_to_subset() {
+        let g = triangle();
+        let s = g.weight_sum_to(NodeId(0), &[NodeId(1), NodeId(2)]);
+        assert!((s - 5.0).abs() < 1e-12);
+        let s1 = g.weight_sum_to(NodeId(0), &[NodeId(2)]);
+        assert!((s1 - 4.0).abs() < 1e-12);
+        assert_eq!(g.weight_sum_to(NodeId(0), &[NodeId(0)]), 0.0);
+    }
+
+    #[test]
+    fn relation_tags() {
+        let g = triangle();
+        assert_eq!(g.relation(NodeId(0)), 0);
+        assert_eq!(g.relation(NodeId(2)), 1);
+    }
+
+    #[test]
+    fn isolated_node() {
+        let mut b = GraphBuilder::new();
+        b.add_node(0, vec![]);
+        let g = b.build();
+        assert_eq!(g.out_degree(NodeId(0)), 0);
+        assert_eq!(g.edges(NodeId(0)).count(), 0);
+    }
+}

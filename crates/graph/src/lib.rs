@@ -1,0 +1,33 @@
+//! The weighted directed data graph of the paper (§II-A).
+//!
+//! A database is modeled as a graph `G = (V, E)`: every tuple is a node, and
+//! every foreign-key/relationship connection contributes **two** directed
+//! edges with independent weights (the paper's example: a citation is strong
+//! in the citing → cited direction, weak the other way). Out-edge weights
+//! are normalized to sum to 1 for the random-walk model, while the raw
+//! weights drive message-passing splits in RWMP.
+//!
+//! This crate provides:
+//!
+//! * [`Graph`] — an immutable CSR representation with per-edge raw and
+//!   normalized weights and per-node tuple payloads;
+//! * [`GraphBuilder`] — incremental construction;
+//! * [`WeightConfig`] — the paper's Table II edge weights (with IMDB and
+//!   DBLP defaults);
+//! * [`build_graph`] — mapping a [`ci_storage::Database`] to a graph,
+//!   including the *person merge* of §VI-A (the same person appearing as
+//!   both actor and director becomes a single node);
+//! * traversals — bounded BFS and bounded Dijkstra used by search and
+//!   indexing.
+
+mod builder;
+mod csr;
+mod mapping;
+mod traverse;
+mod weights;
+
+pub use builder::GraphBuilder;
+pub use csr::{EdgeRef, Graph, NodeId};
+pub use mapping::{build_graph, MergeSpec};
+pub use traverse::{bfs_within, bounded_dijkstra, connected_components, hop_bounded_costs, Reached};
+pub use weights::WeightConfig;

@@ -1,0 +1,177 @@
+use std::collections::HashMap;
+
+use ci_storage::{Database, TableId, TupleId};
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, NodeId};
+use crate::weights::WeightConfig;
+
+/// Specification of the person merge of §VI-A: tuples from the listed
+/// tables that share the same (normalized) text are collapsed into a single
+/// graph node, so e.g. the director and actor entries of the same person do
+/// not split that person's importance value.
+#[derive(Debug, Clone, Default)]
+pub struct MergeSpec {
+    /// Tables whose same-text tuples merge into one node.
+    pub tables: Vec<TableId>,
+}
+
+impl MergeSpec {
+    /// Merge spec over the given tables.
+    pub fn over(tables: Vec<TableId>) -> Self {
+        MergeSpec { tables }
+    }
+
+    fn contains(&self, t: TableId) -> bool {
+        self.tables.contains(&t)
+    }
+}
+
+/// Maps a database to the data graph, applying Table II edge weights and an
+/// optional person merge.
+///
+/// The returned graph's node ids are dense; use [`Graph::tuples`] to map a
+/// node back to its database tuples. The node's relation tag is the table of
+/// its first tuple.
+pub fn build_graph(db: &Database, weights: &WeightConfig, merge: Option<&MergeSpec>) -> Graph {
+    let mut builder = GraphBuilder::new();
+    let mut node_of: HashMap<TupleId, NodeId> = HashMap::with_capacity(db.tuple_count());
+    // Key for merged nodes: normalized text of the tuple.
+    let mut merged: HashMap<String, NodeId> = HashMap::new();
+
+    for tid in db.all_tuples() {
+        let mergeable = merge.map(|m| m.contains(tid.table)).unwrap_or(false);
+        if mergeable {
+            let key = db
+                .tuple_text(tid)
+                .expect("tuple exists")
+                .to_lowercase();
+            if let Some(&existing) = merged.get(&key) {
+                builder.merge_tuple(existing, tid);
+                node_of.insert(tid, existing);
+                continue;
+            }
+            let node = builder.add_node(tid.table.0, vec![tid]);
+            merged.insert(key, node);
+            node_of.insert(tid, node);
+        } else {
+            let node = builder.add_node(tid.table.0, vec![tid]);
+            node_of.insert(tid, node);
+        }
+    }
+
+    for link in db.link_sets() {
+        let (fw, bw) = weights.get(&link.def().name);
+        let from_table = link.def().from;
+        let to_table = link.def().to;
+        for &(f, t) in link.pairs() {
+            let a = node_of[&TupleId::new(from_table, f)];
+            let b = node_of[&TupleId::new(to_table, t)];
+            if a == b {
+                // A merged person linked to itself (degenerate); skip.
+                continue;
+            }
+            builder.add_pair(a, b, fw, bw);
+        }
+    }
+
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ci_storage::{schemas, Value};
+
+    #[test]
+    fn maps_tuples_to_nodes_and_links_to_edge_pairs() {
+        let (mut db, t) = schemas::dblp();
+        let a1 = db.insert(t.author, vec![Value::text("Yu")]).unwrap();
+        let a2 = db.insert(t.author, vec![Value::text("Shi")]).unwrap();
+        let p = db
+            .insert(t.paper, vec![Value::text("CI-Rank"), Value::int(2012)])
+            .unwrap();
+        db.link(t.author_paper, a1, p).unwrap();
+        db.link(t.author_paper, a2, p).unwrap();
+
+        let g = build_graph(&db, &WeightConfig::dblp_default(), None);
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 4); // 2 links × 2 directions
+        // Author→paper weight 1.0 both ways (Table II).
+        for v in g.nodes() {
+            for e in g.edges(v) {
+                assert_eq!(e.weight, 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn citation_weights_are_asymmetric() {
+        let (mut db, t) = schemas::dblp();
+        let p1 = db
+            .insert(t.paper, vec![Value::text("Citing"), Value::int(2012)])
+            .unwrap();
+        let p2 = db
+            .insert(t.paper, vec![Value::text("Cited"), Value::int(2000)])
+            .unwrap();
+        db.link(t.cites, p1, p2).unwrap();
+
+        let g = build_graph(&db, &WeightConfig::dblp_default(), None);
+        let n1 = NodeId(0);
+        let n2 = NodeId(1);
+        assert_eq!(g.edge_weight(n1, n2), Some(0.5));
+        assert_eq!(g.edge_weight(n2, n1), Some(0.1));
+    }
+
+    #[test]
+    fn person_merge_collapses_same_name() {
+        let (mut db, t) = schemas::imdb();
+        let movie = db
+            .insert(t.movie, vec![Value::text("Braveheart"), Value::int(1995)])
+            .unwrap();
+        let actor = db.insert(t.actor, vec![Value::text("Mel Gibson")]).unwrap();
+        let director = db
+            .insert(t.director, vec![Value::text("Mel Gibson")])
+            .unwrap();
+        let other = db.insert(t.actor, vec![Value::text("Sophie Marceau")]).unwrap();
+        db.link(t.actor_movie, actor, movie).unwrap();
+        db.link(t.director_movie, director, movie).unwrap();
+        db.link(t.actor_movie, other, movie).unwrap();
+
+        let merge = MergeSpec::over(vec![t.actor, t.actress, t.director, t.producer]);
+        let g = build_graph(&db, &WeightConfig::imdb_default(), Some(&merge));
+        // movie, merged Mel Gibson, Sophie Marceau.
+        assert_eq!(g.node_count(), 3);
+        let mel = g
+            .nodes()
+            .find(|&v| g.tuples(v).len() == 2)
+            .expect("merged node exists");
+        assert_eq!(g.tuples(mel), &[actor, director]);
+        // Parallel edges to the movie collapse; one out-edge remains.
+        assert_eq!(g.out_degree(mel), 1);
+    }
+
+    #[test]
+    fn merge_is_case_insensitive_but_scoped_to_spec_tables() {
+        let (mut db, t) = schemas::imdb();
+        let a1 = db.insert(t.actor, vec![Value::text("MEL GIBSON")]).unwrap();
+        let a2 = db.insert(t.director, vec![Value::text("mel gibson")]).unwrap();
+        // Same-name company should NOT merge (not in the spec).
+        let c = db.insert(t.company, vec![Value::text("Mel Gibson")]).unwrap();
+        let merge = MergeSpec::over(vec![t.actor, t.director]);
+        let g = build_graph(&db, &WeightConfig::imdb_default(), Some(&merge));
+        assert_eq!(g.node_count(), 2);
+        let merged = g.nodes().find(|&v| g.tuples(v).len() == 2).unwrap();
+        assert_eq!(g.tuples(merged), &[a1, a2]);
+        let solo = g.nodes().find(|&v| g.tuples(v).len() == 1).unwrap();
+        assert_eq!(g.tuples(solo), &[c]);
+    }
+
+    #[test]
+    fn empty_database_yields_empty_graph() {
+        let (db, _) = schemas::dblp();
+        let g = build_graph(&db, &WeightConfig::dblp_default(), None);
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

@@ -1,0 +1,310 @@
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+use crate::csr::{Graph, NodeId};
+
+/// A node reached by a bounded traversal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Reached {
+    /// The reached node.
+    pub node: NodeId,
+    /// Hop distance from the source.
+    pub dist: u32,
+    /// Traversal-specific cost (equals `dist` for BFS; accumulated cost for
+    /// Dijkstra).
+    pub cost: f64,
+}
+
+/// Breadth-first search from `src` visiting every node within `max_dist`
+/// hops (treating edges as undirected — the builder materializes both
+/// directions, so out-neighbors are the full neighborhood).
+///
+/// Returns reached nodes (including `src` at distance 0) in non-decreasing
+/// distance order.
+pub fn bfs_within(graph: &Graph, src: NodeId, max_dist: u32) -> Vec<Reached> {
+    let mut dist: HashMap<u32, u32> = HashMap::new();
+    dist.insert(src.0, 0);
+    let mut queue = VecDeque::new();
+    queue.push_back(src);
+    let mut out = vec![Reached {
+        node: src,
+        dist: 0,
+        cost: 0.0,
+    }];
+    while let Some(v) = queue.pop_front() {
+        let d = dist[&v.0];
+        if d == max_dist {
+            continue;
+        }
+        for n in graph.neighbors(v) {
+            if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(n.0) {
+                e.insert(d + 1);
+                out.push(Reached {
+                    node: n,
+                    dist: d + 1,
+                    cost: (d + 1) as f64,
+                });
+                queue.push_back(n);
+            }
+        }
+    }
+    out
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    cost: f64,
+    dist: u32,
+    node: u32,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on cost: reverse the comparison.
+        other
+            .cost
+            .total_cmp(&self.cost)
+            .then_with(|| other.dist.cmp(&self.dist))
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Bounded Dijkstra from `src`: explores nodes within `max_dist` hops,
+/// minimizing the sum of `edge_cost(from, to)` along the path. Used to
+/// compute the index's "minimal loss of messages" (costs are `−ln d` of the
+/// entered node, so the cheapest path has the highest retention).
+///
+/// `edge_cost` must be non-negative. Returns the cheapest reached entry per
+/// node, source included at cost 0.
+pub fn bounded_dijkstra<F>(graph: &Graph, src: NodeId, max_dist: u32, edge_cost: F) -> Vec<Reached>
+where
+    F: Fn(NodeId, NodeId) -> f64,
+{
+    let mut best: HashMap<u32, (f64, u32)> = HashMap::new();
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapEntry {
+        cost: 0.0,
+        dist: 0,
+        node: src.0,
+    });
+    best.insert(src.0, (0.0, 0));
+    while let Some(HeapEntry { cost, dist, node }) = heap.pop() {
+        if let Some(&(c, d)) = best.get(&node) {
+            if cost > c || (cost == c && dist > d) {
+                continue;
+            }
+        }
+        if dist == max_dist {
+            continue;
+        }
+        let v = NodeId(node);
+        for n in graph.neighbors(v) {
+            let c = edge_cost(v, n);
+            debug_assert!(c >= 0.0, "edge costs must be non-negative");
+            let nc = cost + c;
+            let nd = dist + 1;
+            let better = match best.get(&n.0) {
+                None => true,
+                Some(&(bc, bd)) => nc < bc || (nc == bc && nd < bd),
+            };
+            if better {
+                best.insert(n.0, (nc, nd));
+                heap.push(HeapEntry {
+                    cost: nc,
+                    dist: nd,
+                    node: n.0,
+                });
+            }
+        }
+    }
+    let mut out: Vec<Reached> = best
+        .into_iter()
+        .map(|(node, (cost, dist))| Reached {
+            node: NodeId(node),
+            dist,
+            cost,
+        })
+        .collect();
+    out.sort_unstable_by(|a, b| a.cost.total_cmp(&b.cost).then(a.node.0.cmp(&b.node.0)));
+    out
+}
+
+/// Minimum path cost from `src` to every node over paths of **at most**
+/// `max_hops` edges (hop-layered Bellman–Ford, `O(max_hops · |E|)`).
+///
+/// This differs from [`bounded_dijkstra`] in an important way: Dijkstra
+/// settles each node on its *globally* cheapest path and then applies the
+/// hop cap to that path, so a node whose cheapest route is long gets
+/// dropped even when a short-but-expensive route exists. The index build
+/// needs "best cost among ≤ cap-hop paths", which is exactly this DP.
+///
+/// Returns `(cost, hop_distance)` per reachable node; `hop_distance` is
+/// the BFS shortest hop count.
+pub fn hop_bounded_costs<F>(
+    graph: &Graph,
+    src: NodeId,
+    max_hops: u32,
+    edge_cost: F,
+) -> HashMap<u32, (f64, u32)>
+where
+    F: Fn(NodeId, NodeId) -> f64,
+{
+    let n = graph.node_count();
+    let mut cur = vec![f64::INFINITY; n];
+    cur[src.idx()] = 0.0;
+    let mut hops: HashMap<u32, u32> = HashMap::from([(src.0, 0)]);
+    for h in 1..=max_hops {
+        let mut next = cur.clone();
+        // Relax every edge leaving a node whose ≤(h−1)-hop cost is finite.
+        for v in graph.nodes() {
+            let base = cur[v.idx()];
+            if !base.is_finite() {
+                continue;
+            }
+            for e in graph.edges(v) {
+                let c = edge_cost(v, e.to);
+                debug_assert!(c >= 0.0, "edge costs must be non-negative");
+                if base + c < next[e.to.idx()] {
+                    next[e.to.idx()] = base + c;
+                }
+                hops.entry(e.to.0).or_insert(h);
+            }
+        }
+        cur = next;
+    }
+    hops.into_iter()
+        .map(|(node, d)| (node, (cur[node as usize], d)))
+        .collect()
+}
+
+/// Partitions the graph into (undirected) connected components; returns one
+/// representative-sorted node list per component.
+pub fn connected_components(graph: &Graph) -> Vec<Vec<NodeId>> {
+    let n = graph.node_count();
+    let mut seen = vec![false; n];
+    let mut comps = Vec::new();
+    for start in graph.nodes() {
+        if seen[start.idx()] {
+            continue;
+        }
+        let mut comp = Vec::new();
+        let mut queue = VecDeque::new();
+        queue.push_back(start);
+        seen[start.idx()] = true;
+        while let Some(v) = queue.pop_front() {
+            comp.push(v);
+            for nb in graph.neighbors(v) {
+                if !seen[nb.idx()] {
+                    seen[nb.idx()] = true;
+                    queue.push_back(nb);
+                }
+            }
+        }
+        comp.sort_unstable();
+        comps.push(comp);
+    }
+    comps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    /// Path graph 0 — 1 — 2 — 3 — 4.
+    fn path5() -> Graph {
+        let mut b = GraphBuilder::new();
+        let nodes: Vec<NodeId> = (0..5).map(|_| b.add_node(0, vec![])).collect();
+        for w in nodes.windows(2) {
+            b.add_pair(w[0], w[1], 1.0, 1.0);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn bfs_respects_bound() {
+        let g = path5();
+        let r = bfs_within(&g, NodeId(0), 2);
+        let nodes: Vec<u32> = r.iter().map(|x| x.node.0).collect();
+        assert_eq!(nodes, vec![0, 1, 2]);
+        assert_eq!(r[2].dist, 2);
+    }
+
+    #[test]
+    fn bfs_zero_bound_returns_source_only() {
+        let g = path5();
+        let r = bfs_within(&g, NodeId(3), 0);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].node, NodeId(3));
+    }
+
+    #[test]
+    fn bfs_distances_are_shortest() {
+        let mut b = GraphBuilder::new();
+        // Diamond: 0-1, 0-2, 1-3, 2-3 → dist(0,3) = 2.
+        let n: Vec<NodeId> = (0..4).map(|_| b.add_node(0, vec![])).collect();
+        b.add_pair(n[0], n[1], 1.0, 1.0);
+        b.add_pair(n[0], n[2], 1.0, 1.0);
+        b.add_pair(n[1], n[3], 1.0, 1.0);
+        b.add_pair(n[2], n[3], 1.0, 1.0);
+        let g = b.build();
+        let r = bfs_within(&g, NodeId(0), 10);
+        let d3 = r.iter().find(|x| x.node == NodeId(3)).unwrap().dist;
+        assert_eq!(d3, 2);
+    }
+
+    #[test]
+    fn dijkstra_picks_cheapest_path() {
+        // 0→1→3 costs 0.1+0.1; 0→2→3 costs 1.0+1.0.
+        let mut b = GraphBuilder::new();
+        let n: Vec<NodeId> = (0..4).map(|_| b.add_node(0, vec![])).collect();
+        b.add_pair(n[0], n[1], 1.0, 1.0);
+        b.add_pair(n[1], n[3], 1.0, 1.0);
+        b.add_pair(n[0], n[2], 1.0, 1.0);
+        b.add_pair(n[2], n[3], 1.0, 1.0);
+        let g = b.build();
+        // Entering node 2 is expensive.
+        let r = bounded_dijkstra(&g, NodeId(0), 5, |_, t| {
+            if t == NodeId(2) {
+                1.0
+            } else {
+                0.1
+            }
+        });
+        let e3 = r.iter().find(|x| x.node == NodeId(3)).unwrap();
+        assert!((e3.cost - 0.2).abs() < 1e-12);
+        assert_eq!(e3.dist, 2);
+    }
+
+    #[test]
+    fn dijkstra_respects_hop_bound() {
+        let g = path5();
+        let r = bounded_dijkstra(&g, NodeId(0), 2, |_, _| 1.0);
+        assert_eq!(r.len(), 3);
+        assert!(r.iter().all(|x| x.dist <= 2));
+    }
+
+    #[test]
+    fn components_found() {
+        let mut b = GraphBuilder::new();
+        let n: Vec<NodeId> = (0..5).map(|_| b.add_node(0, vec![])).collect();
+        b.add_pair(n[0], n[1], 1.0, 1.0);
+        b.add_pair(n[2], n[3], 1.0, 1.0);
+        let g = b.build();
+        let comps = connected_components(&g);
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0], vec![NodeId(0), NodeId(1)]);
+        assert_eq!(comps[1], vec![NodeId(2), NodeId(3)]);
+        assert_eq!(comps[2], vec![NodeId(4)]);
+    }
+}

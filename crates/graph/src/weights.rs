@@ -1,0 +1,116 @@
+use std::collections::HashMap;
+
+/// Per-link-kind edge weights — the paper's Table II.
+///
+/// Weights are keyed by the link set's name; each entry holds the weight of
+/// the forward (`from → to`) and backward (`to → from`) directed edge. The
+/// random walk normalizes per node, so only the relative magnitudes matter.
+#[derive(Debug, Clone, Default)]
+pub struct WeightConfig {
+    weights: HashMap<String, (f64, f64)>,
+    default: (f64, f64),
+}
+
+impl WeightConfig {
+    /// Empty configuration where every link weighs `(1.0, 1.0)`.
+    pub fn uniform() -> Self {
+        WeightConfig {
+            weights: HashMap::new(),
+            default: (1.0, 1.0),
+        }
+    }
+
+    /// Paper Table II, IMDB portion: person/movie links weigh 1.0 each way,
+    /// producer and company links 0.5 each way.
+    pub fn imdb_default() -> Self {
+        let mut c = WeightConfig::uniform();
+        c.set("actor_movie", 1.0, 1.0);
+        c.set("actress_movie", 1.0, 1.0);
+        c.set("director_movie", 1.0, 1.0);
+        c.set("producer_movie", 0.5, 0.5);
+        c.set("company_movie", 0.5, 0.5);
+        c
+    }
+
+    /// Paper Table II, DBLP portion: conference links 0.5 each way, author
+    /// links 1.0 each way, citations 0.5 forward (citing → cited) and 0.1
+    /// backward.
+    pub fn dblp_default() -> Self {
+        let mut c = WeightConfig::uniform();
+        c.set("paper_conference", 0.5, 0.5);
+        c.set("author_paper", 1.0, 1.0);
+        c.set("cites", 0.5, 0.1);
+        c
+    }
+
+    /// Sets the weights for a link kind.
+    pub fn set(&mut self, link_name: impl Into<String>, forward: f64, backward: f64) {
+        assert!(forward > 0.0 && backward > 0.0, "weights must be positive");
+        self.weights.insert(link_name.into(), (forward, backward));
+    }
+
+    /// Changes the fallback weights used for unconfigured link kinds.
+    pub fn set_default(&mut self, forward: f64, backward: f64) {
+        assert!(forward > 0.0 && backward > 0.0, "weights must be positive");
+        self.default = (forward, backward);
+    }
+
+    /// `(forward, backward)` weights for a link kind.
+    pub fn get(&self, link_name: &str) -> (f64, f64) {
+        self.weights.get(link_name).copied().unwrap_or(self.default)
+    }
+
+    /// All explicitly configured entries, sorted by link name (for display,
+    /// e.g. regenerating Table II).
+    pub fn entries(&self) -> Vec<(&str, f64, f64)> {
+        let mut v: Vec<_> = self
+            .weights
+            .iter()
+            .map(|(k, &(f, b))| (k.as_str(), f, b))
+            .collect();
+        v.sort_unstable_by_key(|e| e.0);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_dblp_values() {
+        let c = WeightConfig::dblp_default();
+        assert_eq!(c.get("author_paper"), (1.0, 1.0));
+        assert_eq!(c.get("paper_conference"), (0.5, 0.5));
+        assert_eq!(c.get("cites"), (0.5, 0.1));
+    }
+
+    #[test]
+    fn table_ii_imdb_values() {
+        let c = WeightConfig::imdb_default();
+        assert_eq!(c.get("actor_movie"), (1.0, 1.0));
+        assert_eq!(c.get("producer_movie"), (0.5, 0.5));
+        assert_eq!(c.get("company_movie"), (0.5, 0.5));
+    }
+
+    #[test]
+    fn unknown_links_fall_back_to_default() {
+        let mut c = WeightConfig::uniform();
+        assert_eq!(c.get("anything"), (1.0, 1.0));
+        c.set_default(0.25, 0.75);
+        assert_eq!(c.get("anything"), (0.25, 0.75));
+    }
+
+    #[test]
+    fn entries_sorted() {
+        let c = WeightConfig::dblp_default();
+        let names: Vec<_> = c.entries().iter().map(|e| e.0).collect();
+        assert_eq!(names, vec!["author_paper", "cites", "paper_conference"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn nonpositive_weight_rejected() {
+        WeightConfig::uniform().set("x", 0.0, 1.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests for the CSR graph and traversals.
+
+use ci_graph::{bfs_within, bounded_dijkstra, connected_components, GraphBuilder, NodeId};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct EdgeCase {
+    nodes: usize,
+    edges: Vec<(usize, usize, u8, u8)>,
+}
+
+fn edge_case() -> impl Strategy<Value = EdgeCase> {
+    (2usize..20).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n, 1u8..10, 1u8..10), 0..3 * n)
+            .prop_map(move |edges| EdgeCase { nodes: n, edges })
+    })
+}
+
+fn build(case: &EdgeCase) -> ci_graph::Graph {
+    let mut b = GraphBuilder::new();
+    let nodes: Vec<NodeId> = (0..case.nodes).map(|i| b.add_node((i % 3) as u16, vec![])).collect();
+    for &(x, y, wf, wb) in &case.edges {
+        if x == y {
+            continue;
+        }
+        b.add_pair(nodes[x], nodes[y], wf as f64, wb as f64);
+    }
+    b.build()
+}
+
+proptest! {
+    /// Normalized out-weights sum to 1 for every non-dangling node, and
+    /// adjacency is sorted and deduplicated.
+    #[test]
+    fn normalization_and_sorted_adjacency(case in edge_case()) {
+        let g = build(&case);
+        for v in g.nodes() {
+            let edges: Vec<_> = g.edges(v).collect();
+            if !edges.is_empty() {
+                let sum: f64 = edges.iter().map(|e| e.norm_weight).sum();
+                prop_assert!((sum - 1.0).abs() < 1e-9, "node {v}: {sum}");
+            }
+            for w in edges.windows(2) {
+                prop_assert!(w[0].to < w[1].to, "unsorted or duplicate adjacency");
+            }
+        }
+    }
+
+    /// Symmetric reachability: BFS treats the pair-constructed graph as
+    /// undirected, so distances are symmetric.
+    #[test]
+    fn bfs_distances_symmetric(case in edge_case()) {
+        let g = build(&case);
+        if g.node_count() == 0 {
+            return Ok(());
+        }
+        let cap = g.node_count() as u32;
+        for u in g.nodes().take(5) {
+            for r in bfs_within(&g, u, cap) {
+                let back = bfs_within(&g, r.node, cap)
+                    .into_iter()
+                    .find(|x| x.node == u)
+                    .expect("reachability is symmetric");
+                prop_assert_eq!(back.dist, r.dist);
+            }
+        }
+    }
+
+    /// Dijkstra with unit costs agrees with BFS hop distances.
+    #[test]
+    fn dijkstra_unit_cost_equals_bfs(case in edge_case()) {
+        let g = build(&case);
+        let cap = g.node_count() as u32;
+        for u in g.nodes().take(3) {
+            let bfs: std::collections::HashMap<u32, u32> =
+                bfs_within(&g, u, cap).into_iter().map(|r| (r.node.0, r.dist)).collect();
+            for r in bounded_dijkstra(&g, u, cap, |_, _| 1.0) {
+                prop_assert_eq!(
+                    r.cost as u32, bfs[&r.node.0],
+                    "unit dijkstra vs bfs at node {}", r.node
+                );
+            }
+        }
+    }
+
+    /// Connected components partition the node set, and BFS from any node
+    /// reaches exactly its component.
+    #[test]
+    fn components_partition(case in edge_case()) {
+        let g = build(&case);
+        let comps = connected_components(&g);
+        let total: usize = comps.iter().map(|c| c.len()).sum();
+        prop_assert_eq!(total, g.node_count());
+        let mut seen = std::collections::HashSet::new();
+        for c in &comps {
+            for &v in c {
+                prop_assert!(seen.insert(v), "node {v} in two components");
+            }
+        }
+        if let Some(first) = comps.first() {
+            let reach: std::collections::HashSet<u32> =
+                bfs_within(&g, first[0], g.node_count() as u32)
+                    .into_iter()
+                    .map(|r| r.node.0)
+                    .collect();
+            let comp: std::collections::HashSet<u32> = first.iter().map(|v| v.0).collect();
+            prop_assert_eq!(reach, comp);
+        }
+    }
+
+    /// Edge lookup agrees with edge iteration.
+    #[test]
+    fn edge_lookup_consistent(case in edge_case()) {
+        let g = build(&case);
+        for u in g.nodes() {
+            for e in g.edges(u) {
+                prop_assert_eq!(g.edge_weight(u, e.to), Some(e.weight));
+                prop_assert!(g.has_edge(u, e.to));
+            }
+        }
+    }
+}

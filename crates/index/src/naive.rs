@@ -1,0 +1,196 @@
+use std::collections::HashMap;
+
+use ci_graph::{hop_bounded_costs, Graph, NodeId};
+
+use crate::oracle::DistanceOracle;
+
+/// §V-A naive index: exact shortest distances and maximal retention factors
+/// for every node pair within `cap` hops.
+///
+/// Build cost is one bounded BFS plus one bounded Dijkstra per node; space
+/// is `O(|V|²)` in the worst case (the paper's motivation for star
+/// indexing). Use it on samples or as the exactness oracle in tests.
+pub struct NaiveIndex {
+    cap: u32,
+    // (u, v) -> (distance, retention upper bound)
+    entries: HashMap<(u32, u32), (u32, f64)>,
+    damp: Vec<f64>,
+    d_max: f64,
+}
+
+impl NaiveIndex {
+    /// Builds the index. `damp[i]` is the dampening rate of node `i`
+    /// (Eq. 2, supplied by the RWMP scorer); `cap` bounds the stored hop
+    /// distance and should be at least the search diameter `D`.
+    pub fn build(graph: &Graph, damp: &[f64], cap: u32) -> Self {
+        assert_eq!(damp.len(), graph.node_count(), "dampening vector length mismatch");
+        let d_max = damp.iter().cloned().fold(0.0f64, f64::max).min(1.0);
+        let mut entries = HashMap::new();
+        for u in graph.nodes() {
+            // Hop-layered DP: exact hop distance plus the best retention
+            // among paths of ≤ cap hops (−ln d edge costs; a plain
+            // Dijkstra would drop nodes whose globally cheapest path
+            // exceeds the hop cap).
+            for (node, (cost, dist)) in
+                hop_bounded_costs(graph, u, cap, |_, to| -damp[to.idx()].ln())
+            {
+                if node == u.0 {
+                    continue;
+                }
+                entries.insert((u.0, node), (dist, (-cost).exp()));
+            }
+        }
+        NaiveIndex {
+            cap,
+            entries,
+            damp: damp.to_vec(),
+            d_max,
+        }
+    }
+
+    /// The hop cap the index was built with.
+    pub fn cap(&self) -> u32 {
+        self.cap
+    }
+
+    /// Number of stored pairs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Exact distance, if the pair lies within the cap.
+    pub fn distance(&self, u: NodeId, v: NodeId) -> Option<u32> {
+        if u == v {
+            return Some(0);
+        }
+        self.entries.get(&(u.0, v.0)).map(|e| e.0)
+    }
+}
+
+impl DistanceOracle for NaiveIndex {
+    fn dist_lb(&self, u: NodeId, v: NodeId) -> u32 {
+        if u == v {
+            return 0;
+        }
+        match self.entries.get(&(u.0, v.0)) {
+            Some(&(d, _)) => d,
+            // Not reachable within cap hops ⇒ distance ≥ cap + 1.
+            None => self.cap + 1,
+        }
+    }
+
+    fn retention_ub(&self, u: NodeId, v: NodeId) -> f64 {
+        if u == v {
+            return 1.0;
+        }
+        match self.entries.get(&(u.0, v.0)) {
+            Some(&(_, r)) => r.min(self.damp[v.idx()]),
+            // Any path has more than `cap` hops, each retaining ≤ d_max.
+            None => self.d_max.powi(self.cap as i32 + 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ci_graph::GraphBuilder;
+
+    /// Path 0 — 1 — 2 — 3 with per-node dampening rates.
+    fn path4() -> (Graph, Vec<f64>) {
+        let mut b = GraphBuilder::new();
+        let n: Vec<NodeId> = (0..4).map(|_| b.add_node(0, vec![])).collect();
+        for w in n.windows(2) {
+            b.add_pair(w[0], w[1], 1.0, 1.0);
+        }
+        (b.build(), vec![0.5, 0.25, 0.5, 0.8])
+    }
+
+    #[test]
+    fn distances_are_exact_within_cap() {
+        let (g, d) = path4();
+        let idx = NaiveIndex::build(&g, &d, 3);
+        assert_eq!(idx.distance(NodeId(0), NodeId(3)), Some(3));
+        assert_eq!(idx.distance(NodeId(0), NodeId(0)), Some(0));
+        assert_eq!(idx.dist_lb(NodeId(0), NodeId(2)), 2);
+    }
+
+    #[test]
+    fn beyond_cap_lower_bound_is_cap_plus_one() {
+        let (g, d) = path4();
+        let idx = NaiveIndex::build(&g, &d, 2);
+        assert_eq!(idx.distance(NodeId(0), NodeId(3)), None);
+        assert_eq!(idx.dist_lb(NodeId(0), NodeId(3)), 3);
+    }
+
+    #[test]
+    fn retention_is_product_of_dampening() {
+        let (g, d) = path4();
+        let idx = NaiveIndex::build(&g, &d, 3);
+        // 0 → 3 passes nodes 1, 2, 3: retention = 0.25 · 0.5 · 0.8.
+        let r = idx.retention_ub(NodeId(0), NodeId(3));
+        assert!((r - 0.25 * 0.5 * 0.8).abs() < 1e-12, "retention {r}");
+        // Adjacent: only the destination dampens.
+        let r1 = idx.retention_ub(NodeId(0), NodeId(1));
+        assert!((r1 - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retention_picks_best_path() {
+        // Two 2-hop routes from 0 to 3: via 1 (damp 0.9) or via 2 (damp 0.1).
+        let mut b = GraphBuilder::new();
+        let n: Vec<NodeId> = (0..4).map(|_| b.add_node(0, vec![])).collect();
+        b.add_pair(n[0], n[1], 1.0, 1.0);
+        b.add_pair(n[1], n[3], 1.0, 1.0);
+        b.add_pair(n[0], n[2], 1.0, 1.0);
+        b.add_pair(n[2], n[3], 1.0, 1.0);
+        let g = b.build();
+        let damp = vec![0.5, 0.9, 0.1, 0.5];
+        let idx = NaiveIndex::build(&g, &damp, 4);
+        let r = idx.retention_ub(NodeId(0), NodeId(3));
+        assert!((r - 0.9 * 0.5).abs() < 1e-12, "best path via node 1, got {r}");
+    }
+
+    #[test]
+    fn retention_beyond_cap_uses_dmax_power() {
+        let (g, d) = path4();
+        let idx = NaiveIndex::build(&g, &d, 1);
+        let r = idx.retention_ub(NodeId(0), NodeId(3));
+        assert!((r - 0.8f64.powi(2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn longer_path_can_retain_more_than_shortest() {
+        // Shortest path 0→3 is 2 hops via a terrible node; a 3-hop detour
+        // through good nodes retains more. The index must report the best
+        // retention, not the shortest path's.
+        let mut b = GraphBuilder::new();
+        let n: Vec<NodeId> = (0..5).map(|_| b.add_node(0, vec![])).collect();
+        b.add_pair(n[0], n[1], 1.0, 1.0); // bad middle
+        b.add_pair(n[1], n[3], 1.0, 1.0);
+        b.add_pair(n[0], n[2], 1.0, 1.0); // good detour start
+        b.add_pair(n[2], n[4], 1.0, 1.0);
+        b.add_pair(n[4], n[3], 1.0, 1.0);
+        let g = b.build();
+        let damp = vec![0.5, 0.01, 0.9, 0.5, 0.9];
+        let idx = NaiveIndex::build(&g, &damp, 4);
+        assert_eq!(idx.distance(NodeId(0), NodeId(3)), Some(2));
+        let r = idx.retention_ub(NodeId(0), NodeId(3));
+        assert!((r - 0.9 * 0.9 * 0.5).abs() < 1e-12, "detour retention, got {r}");
+    }
+
+    #[test]
+    fn size_accounting() {
+        let (g, d) = path4();
+        let idx = NaiveIndex::build(&g, &d, 3);
+        // Path of 4 nodes: all 12 ordered pairs are within 3 hops.
+        assert_eq!(idx.len(), 12);
+        assert!(!idx.is_empty());
+        assert_eq!(idx.cap(), 3);
+    }
+}

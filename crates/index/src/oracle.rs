@@ -1,0 +1,48 @@
+use ci_graph::NodeId;
+
+/// Query-time interface shared by all indexes.
+///
+/// The search algorithm only needs *sound* bounds: distances may be
+/// under-estimated and retentions over-estimated without breaking the
+/// optimality of branch-and-bound — slack merely costs pruning power.
+pub trait DistanceOracle {
+    /// A lower bound on the hop distance between two nodes. `0` means
+    /// "no information". If the true distance exceeds the index's build
+    /// cap, the bound is at least `cap + 1` (minus the star corrections),
+    /// which is what makes diameter pruning possible.
+    fn dist_lb(&self, u: NodeId, v: NodeId) -> u32;
+
+    /// An upper bound on the message retention factor from `u` to `v`
+    /// (product of dampening rates along the best path, destination
+    /// included). `1.0` means "no information".
+    fn retention_ub(&self, u: NodeId, v: NodeId) -> f64;
+}
+
+/// The trivial oracle: no pruning information at all. Searching with
+/// `NoIndex` reproduces the paper's un-indexed "Upbound search"
+/// configuration of Figs. 11–12.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoIndex;
+
+impl DistanceOracle for NoIndex {
+    fn dist_lb(&self, _u: NodeId, _v: NodeId) -> u32 {
+        0
+    }
+
+    fn retention_ub(&self, _u: NodeId, _v: NodeId) -> f64 {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_index_is_uninformative() {
+        let o = NoIndex;
+        assert_eq!(o.dist_lb(NodeId(0), NodeId(5)), 0);
+        assert_eq!(o.retention_ub(NodeId(0), NodeId(5)), 1.0);
+        assert_eq!(o.dist_lb(NodeId(3), NodeId(3)), 0);
+    }
+}

@@ -1,0 +1,467 @@
+use std::collections::{HashMap, HashSet};
+
+use ci_graph::{hop_bounded_costs, Graph, NodeId};
+
+use crate::oracle::DistanceOracle;
+
+/// Greedy detection of star relations: the smallest set of relation tags
+/// (tables) such that every edge of the graph touches a node of one of
+/// them. For the paper's schemas this finds `{Movie}` on IMDB and
+/// `{Paper}` on DBLP.
+pub fn detect_star_relations(graph: &Graph) -> Vec<u16> {
+    let mut uncovered: Vec<(u32, u32)> = Vec::new();
+    for u in graph.nodes() {
+        for e in graph.edges(u) {
+            if u.0 < e.to.0 {
+                uncovered.push((u.0, e.to.0));
+            }
+        }
+    }
+    let mut chosen: Vec<u16> = Vec::new();
+    while !uncovered.is_empty() {
+        let mut count: HashMap<u16, usize> = HashMap::new();
+        for &(a, b) in &uncovered {
+            let ra = graph.relation(NodeId(a));
+            let rb = graph.relation(NodeId(b));
+            *count.entry(ra).or_insert(0) += 1;
+            if rb != ra {
+                *count.entry(rb).or_insert(0) += 1;
+            }
+        }
+        // Prefer maximal edge coverage; break ties toward the relation with
+        // fewer nodes (a smaller index) and then the smaller tag.
+        let mut rel_nodes: HashMap<u16, usize> = HashMap::new();
+        for v in graph.nodes() {
+            *rel_nodes.entry(graph.relation(v)).or_insert(0) += 1;
+        }
+        let (&best, _) = count
+            .iter()
+            .max_by_key(|&(&rel, &c)| {
+                (
+                    c,
+                    std::cmp::Reverse(rel_nodes.get(&rel).copied().unwrap_or(0)),
+                    std::cmp::Reverse(rel),
+                )
+            })
+            .expect("uncovered edges imply a candidate relation");
+        chosen.push(best);
+        uncovered.retain(|&(a, b)| {
+            graph.relation(NodeId(a)) != best && graph.relation(NodeId(b)) != best
+        });
+    }
+    chosen.sort_unstable();
+    chosen
+}
+
+/// §V-B star index: only nodes of star relations are indexed.
+///
+/// The star property (every edge touches a star node, hence every non-star
+/// node's neighbors are all star nodes) is validated at build time; the
+/// three lookup cases of the paper rely on it.
+///
+/// Star-pair distances and retentions are exact within the cap. Lookups
+/// involving non-star nodes apply the hop corrections of Fig. 5 and return
+/// a distance **lower bound** and retention **upper bound**:
+///
+/// * distance, one non-star endpoint: `d(u,v) ≥ 1 + min_h d(u,h)` over the
+///   non-star node's star neighbors `h` (the first hop off a non-star node
+///   always lands on a star node);
+/// * distance, two non-star endpoints: `d(u,v) ≥ 2 + min_{a,b} d(a,b)`;
+/// * retention composes the same way: the star-to-star stretch is bounded
+///   by the stored retention, and every extra hop multiplies a known
+///   dampening factor ≤ 1.
+pub struct StarIndex {
+    cap: u32,
+    star: Vec<bool>,
+    entries: HashMap<(u32, u32), (u32, f64)>,
+    damp: Vec<f64>,
+    d_max: f64,
+}
+
+impl StarIndex {
+    /// Builds the index over nodes whose relation tag is in
+    /// `star_relations`. `damp[i]` is the dampening rate of node `i`; `cap`
+    /// bounds the stored hop distance and should be at least the search
+    /// diameter `D`.
+    ///
+    /// # Panics
+    ///
+    /// If some edge touches no star node (the star property would be
+    /// violated and the bounds unsound).
+    pub fn build(graph: &Graph, damp: &[f64], cap: u32, star_relations: &[u16]) -> Self {
+        assert_eq!(damp.len(), graph.node_count(), "dampening vector length mismatch");
+        let rels: HashSet<u16> = star_relations.iter().copied().collect();
+        let star: Vec<bool> = graph
+            .nodes()
+            .map(|v| rels.contains(&graph.relation(v)))
+            .collect();
+        for u in graph.nodes() {
+            if star[u.idx()] {
+                continue;
+            }
+            for n in graph.neighbors(u) {
+                assert!(
+                    star[n.idx()],
+                    "star property violated: edge {u}-{n} touches no star node"
+                );
+            }
+        }
+        let d_max = damp.iter().cloned().fold(0.0f64, f64::max).min(1.0);
+        let mut entries = HashMap::new();
+        for u in graph.nodes() {
+            if !star[u.idx()] {
+                continue;
+            }
+            // Hop-layered DP (see NaiveIndex::build): exact hop distance
+            // and best retention among ≤ cap-hop paths.
+            for (node, (cost, dist)) in
+                hop_bounded_costs(graph, u, cap, |_, to| -damp[to.idx()].ln())
+            {
+                if node == u.0 || !star[node as usize] {
+                    continue;
+                }
+                entries.insert((u.0, node), (dist, (-cost).exp()));
+            }
+        }
+        StarIndex {
+            cap,
+            star,
+            entries,
+            damp: damp.to_vec(),
+            d_max,
+        }
+    }
+
+    /// True if the node is a star node.
+    pub fn is_star(&self, v: NodeId) -> bool {
+        self.star[v.idx()]
+    }
+
+    /// Number of stored star-node pairs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no pairs are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The hop cap the index was built with.
+    pub fn cap(&self) -> u32 {
+        self.cap
+    }
+
+    /// Wraps the index with its graph to form a [`DistanceOracle`].
+    pub fn into_oracle(self, graph: &Graph) -> StarOracle<'_, StarIndex> {
+        StarOracle { graph, index: self }
+    }
+
+    /// Borrowing variant of [`StarIndex::into_oracle`], for callers that
+    /// keep the index alive elsewhere (e.g. the engine, which builds one
+    /// oracle per query).
+    pub fn oracle<'a>(&'a self, graph: &'a Graph) -> StarOracle<'a, &'a StarIndex> {
+        StarOracle { graph, index: self }
+    }
+
+    /// Distance (exact-or-`cap+1`) and retention upper bound between two
+    /// star nodes; `(0, 1.0)` when they coincide.
+    fn star_pair(&self, u: NodeId, v: NodeId) -> (u32, f64) {
+        if u == v {
+            return (0, 1.0);
+        }
+        match self.entries.get(&(u.0, v.0)) {
+            Some(&(d, r)) => (d, r),
+            None => (self.cap + 1, self.d_max.powi(self.cap as i32 + 1)),
+        }
+    }
+
+    fn star_neighbors(&self, graph: &Graph, v: NodeId) -> Vec<NodeId> {
+        graph
+            .neighbors(v)
+            .filter(|n| self.star[n.idx()])
+            .collect()
+    }
+}
+
+/// Above this many (star-neighbor × star-neighbor) combinations, case-3
+/// lookups fall back to cheap constant bounds — for hub pairs the exact
+/// quadratic scan costs more time than its pruning saves.
+const PAIR_SCAN_LIMIT: usize = 256;
+
+/// [`StarIndex`] bundled with its graph (lookups enumerate star neighbors).
+pub struct StarOracle<'g, I: std::borrow::Borrow<StarIndex>> {
+    graph: &'g Graph,
+    index: I,
+}
+
+impl<'g, I: std::borrow::Borrow<StarIndex>> StarOracle<'g, I> {
+    /// The wrapped index.
+    pub fn index(&self) -> &StarIndex {
+        self.index.borrow()
+    }
+}
+
+impl<'g, I: std::borrow::Borrow<StarIndex>> DistanceOracle for StarOracle<'g, I> {
+    fn dist_lb(&self, u: NodeId, v: NodeId) -> u32 {
+        let ix = self.index.borrow();
+        if u == v {
+            return 0;
+        }
+        if self.graph.has_edge(u, v) {
+            return 1;
+        }
+        match (ix.is_star(u), ix.is_star(v)) {
+            // Case 1: both star — exact (or cap+1 when out of range).
+            (true, true) => ix.star_pair(u, v).0,
+            // Case 2: one star endpoint. The non-star node's first hop
+            // lands on a star neighbor h, so d(u,v) ≥ 1 + min_h d(star, h).
+            (true, false) | (false, true) => {
+                let (s, ns) = if ix.is_star(u) { (u, v) } else { (v, u) };
+                let nbrs = ix.star_neighbors(self.graph, ns);
+                if nbrs.is_empty() {
+                    return 0; // isolated non-star node: no information
+                }
+                1 + nbrs
+                    .iter()
+                    .map(|&h| ix.star_pair(s, h).0)
+                    .min()
+                    .expect("non-empty")
+            }
+            // Case 3: both non-star — both first hops land on star nodes.
+            (false, false) => {
+                let nu = ix.star_neighbors(self.graph, u);
+                let nv = ix.star_neighbors(self.graph, v);
+                if nu.is_empty() || nv.is_empty() {
+                    return 0;
+                }
+                if nu.len() * nv.len() > PAIR_SCAN_LIMIT {
+                    // Hub pair: the quadratic scan costs more than it
+                    // prunes. Non-adjacent non-star nodes are ≥ 2 apart.
+                    return 2;
+                }
+                let mut m = u32::MAX;
+                for &a in &nu {
+                    for &b in &nv {
+                        m = m.min(ix.star_pair(a, b).0);
+                    }
+                }
+                2 + m
+            }
+        }
+    }
+
+    fn retention_ub(&self, u: NodeId, v: NodeId) -> f64 {
+        let ix = self.index.borrow();
+        if u == v {
+            return 1.0;
+        }
+        if self.graph.has_edge(u, v) {
+            // Direct edge: the best possible retention is the destination's
+            // own dampening rate (longer detours only multiply more factors
+            // below 1 while still ending with d_v).
+            return ix.damp[v.idx()];
+        }
+        match (ix.is_star(u), ix.is_star(v)) {
+            (true, true) => ix.star_pair(u, v).1,
+            // Star u ⇒ ... ⇒ h → v: retention = ρ(u⇒h) · d_v ≤ ρ(u,h) · d_v.
+            (true, false) => {
+                let nbrs = ix.star_neighbors(self.graph, v);
+                if nbrs.is_empty() {
+                    return 1.0;
+                }
+                let best = nbrs
+                    .iter()
+                    .map(|&h| ix.star_pair(u, h).1)
+                    .fold(0.0f64, f64::max);
+                (best * ix.damp[v.idx()]).min(1.0)
+            }
+            // Non-star u → h ⇒ ... ⇒ v: retention = d_h · ρ(h⇒v) ≤ d_h · ρ(h,v).
+            (false, true) => {
+                let nbrs = ix.star_neighbors(self.graph, u);
+                if nbrs.is_empty() {
+                    return 1.0;
+                }
+                nbrs.iter()
+                    .map(|&h| ix.damp[h.idx()] * ix.star_pair(h, v).1)
+                    .fold(0.0f64, f64::max)
+                    .min(1.0)
+            }
+            // Non-star u → a ⇒ ... ⇒ b → v: d_a · ρ(a,b) · d_v.
+            (false, false) => {
+                let nu = ix.star_neighbors(self.graph, u);
+                let nv = ix.star_neighbors(self.graph, v);
+                if nu.is_empty() || nv.is_empty() {
+                    return 1.0;
+                }
+                if nu.len() * nv.len() > PAIR_SCAN_LIMIT {
+                    // Hub pair: fall back to the hop-composition bound
+                    // d_max (first star hop) · d_v (destination).
+                    return (ix.d_max * ix.damp[v.idx()]).min(1.0);
+                }
+                let mut best = 0.0f64;
+                for &a in &nu {
+                    for &b in &nv {
+                        best = best.max(ix.damp[a.idx()] * ix.star_pair(a, b).1);
+                    }
+                }
+                (best * ix.damp[v.idx()]).min(1.0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NaiveIndex;
+    use ci_graph::GraphBuilder;
+
+    /// Two "movies" (relation 1) sharing one "actor" (relation 0), with one
+    /// extra actor per movie:
+    ///
+    /// a0 — m0 — a1 — m1 — a2
+    fn imdb_like() -> (Graph, Vec<f64>) {
+        let mut b = GraphBuilder::new();
+        let a0 = b.add_node(0, vec![]);
+        let m0 = b.add_node(1, vec![]);
+        let a1 = b.add_node(0, vec![]);
+        let m1 = b.add_node(1, vec![]);
+        let a2 = b.add_node(0, vec![]);
+        b.add_pair(a0, m0, 1.0, 1.0);
+        b.add_pair(a1, m0, 1.0, 1.0);
+        b.add_pair(a1, m1, 1.0, 1.0);
+        b.add_pair(a2, m1, 1.0, 1.0);
+        (b.build(), vec![0.3, 0.6, 0.4, 0.7, 0.2])
+    }
+
+    #[test]
+    fn detects_the_movie_relation_as_star() {
+        let (g, _) = imdb_like();
+        assert_eq!(detect_star_relations(&g), vec![1]);
+    }
+
+    #[test]
+    fn detection_covers_every_edge() {
+        // Chain of relations 0 — 1 — 2 — 3.
+        let mut b = GraphBuilder::new();
+        let n0 = b.add_node(0, vec![]);
+        let n1 = b.add_node(1, vec![]);
+        let n2 = b.add_node(2, vec![]);
+        let n3 = b.add_node(3, vec![]);
+        b.add_pair(n0, n1, 1.0, 1.0);
+        b.add_pair(n1, n2, 1.0, 1.0);
+        b.add_pair(n2, n3, 1.0, 1.0);
+        let g = b.build();
+        let rels = detect_star_relations(&g);
+        for u in g.nodes() {
+            for e in g.edges(u) {
+                assert!(
+                    rels.contains(&g.relation(u)) || rels.contains(&g.relation(e.to)),
+                    "edge {u}-{} uncovered by {rels:?}",
+                    e.to
+                );
+            }
+        }
+        assert!(rels.len() <= 2);
+    }
+
+    #[test]
+    fn star_pairs_are_exact() {
+        let (g, d) = imdb_like();
+        let idx = StarIndex::build(&g, &d, 4, &[1]);
+        assert!(idx.is_star(NodeId(1)) && idx.is_star(NodeId(3)));
+        assert!(!idx.is_star(NodeId(0)));
+        let oracle = idx.into_oracle(&g);
+        // m0 — a1 — m1: distance 2.
+        assert_eq!(oracle.dist_lb(NodeId(1), NodeId(3)), 2);
+    }
+
+    #[test]
+    fn case2_and_case3_distances() {
+        let (g, d) = imdb_like();
+        let oracle = StarIndex::build(&g, &d, 6, &[1]).into_oracle(&g);
+        // Case 2: a0 (non-star) to m1 (star): true distance 3;
+        // bound = 1 + d(m0, m1) = 3 (exact here).
+        assert_eq!(oracle.dist_lb(NodeId(0), NodeId(3)), 3);
+        // Case 3: a0 to a2: true distance 4; bound = 2 + d(m0, m1) = 4.
+        assert_eq!(oracle.dist_lb(NodeId(0), NodeId(4)), 4);
+        // Case 3 with shared star neighbor: a0 to a1 via m0: true 2;
+        // bound = 2 + d(m0, m0) = 2.
+        assert_eq!(oracle.dist_lb(NodeId(0), NodeId(2)), 2);
+    }
+
+    #[test]
+    fn bounds_sandwich_truth() {
+        // Distance lower bounds must never exceed the true distance, and
+        // retention upper bounds never fall below the true (naive-index)
+        // retention.
+        let (g, d) = imdb_like();
+        let naive = NaiveIndex::build(&g, &d, 6);
+        let star = StarIndex::build(&g, &d, 6, &[1]).into_oracle(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                let true_d = naive.distance(u, v).unwrap_or(7);
+                assert!(
+                    star.dist_lb(u, v) <= true_d,
+                    "dist_lb({u},{v}) = {} > true {true_d}",
+                    star.dist_lb(u, v)
+                );
+                if u != v {
+                    let true_r = naive.retention_ub(u, v);
+                    assert!(
+                        star.retention_ub(u, v) >= true_r - 1e-12,
+                        "retention_ub({u},{v}) = {} < true {true_r}",
+                        star.retention_ub(u, v)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adjacent_nodes_shortcut() {
+        let (g, d) = imdb_like();
+        let oracle = StarIndex::build(&g, &d, 4, &[1]).into_oracle(&g);
+        assert_eq!(oracle.dist_lb(NodeId(0), NodeId(1)), 1);
+        assert!((oracle.retention_ub(NodeId(0), NodeId(1)) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn case3_retention_composes_dampening() {
+        let (g, d) = imdb_like();
+        let oracle = StarIndex::build(&g, &d, 6, &[1]).into_oracle(&g);
+        // a0 → m0 → a1 → m1 → a2: retention ub
+        // = d(m0) · ρ(m0, m1) · d(a2) where ρ(m0,m1) = d(a1)·d(m1).
+        let expect = 0.6 * (0.4 * 0.7) * 0.2;
+        let got = oracle.retention_ub(NodeId(0), NodeId(4));
+        assert!((got - expect).abs() < 1e-12, "got {got}, want {expect}");
+    }
+
+    #[test]
+    fn star_index_is_smaller_than_naive() {
+        let (g, d) = imdb_like();
+        let naive = NaiveIndex::build(&g, &d, 6);
+        let star = StarIndex::build(&g, &d, 6, &[1]);
+        assert!(star.len() < naive.len());
+        // Only the 2 ordered movie pairs are stored.
+        assert_eq!(star.len(), 2);
+    }
+
+    #[test]
+    fn out_of_cap_star_pair_prunes() {
+        let (g, d) = imdb_like();
+        let oracle = StarIndex::build(&g, &d, 1, &[1]).into_oracle(&g);
+        // m0 and m1 are 2 apart, beyond cap 1 ⇒ lb = cap + 1 = 2.
+        assert_eq!(oracle.dist_lb(NodeId(1), NodeId(3)), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "star property violated")]
+    fn build_rejects_non_star_partition() {
+        let (g, d) = imdb_like();
+        // Relation 0 (actors) does not cover the actor—movie edges' movie
+        // side... it does actually; use an empty star set instead.
+        StarIndex::build(&g, &d, 4, &[]);
+    }
+}

@@ -1,0 +1,169 @@
+use crate::scorer::{NodeBinding, Scorer};
+use crate::tree::Jtt;
+
+/// The alternative scoring functions the paper considers and rejects in
+/// §III-B, kept for ablation studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlternativeScore {
+    /// Mean importance of the non-free nodes. Ignores cohesiveness: two
+    /// important but barely connected matchers outrank a tight pair.
+    AvgNonFreeImportance,
+    /// Mean importance of *all* nodes. Suffers the free-node-domination
+    /// problem (the "Tom Hanks" example of Fig. 4).
+    AvgAllImportance,
+    /// Mean importance of all nodes divided by tree size. Still blind to
+    /// structure (star vs chain with identical node sets score the same).
+    AvgImportancePerSize,
+}
+
+/// Evaluates one of the §III-B alternatives on a tree.
+pub fn score_alternative(
+    kind: AlternativeScore,
+    scorer: &Scorer<'_>,
+    tree: &Jtt,
+    bindings: &[NodeBinding],
+) -> f64 {
+    assert!(!bindings.is_empty(), "a JTT needs at least one non-free node");
+    match kind {
+        AlternativeScore::AvgNonFreeImportance => {
+            let sum: f64 = bindings
+                .iter()
+                .map(|b| scorer.importance(tree.node(b.pos)))
+                .sum();
+            sum / bindings.len() as f64
+        }
+        AlternativeScore::AvgAllImportance => {
+            let sum: f64 = tree
+                .nodes()
+                .iter()
+                .map(|&v| scorer.importance(v))
+                .sum();
+            sum / tree.size() as f64
+        }
+        AlternativeScore::AvgImportancePerSize => {
+            let sum: f64 = tree
+                .nodes()
+                .iter()
+                .map(|&v| scorer.importance(v))
+                .sum();
+            sum / (tree.size() as f64 * tree.size() as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Dampening;
+    use ci_graph::{GraphBuilder, NodeId};
+
+    /// The Fig. 4 scenario: a single matching actor node T1 versus an
+    /// irrelevant 4-node tree T2 whose free connector ("Tom Hanks") is
+    /// enormously important.
+    fn fig4() -> (ci_graph::Graph, Vec<f64>) {
+        let mut b = GraphBuilder::new();
+        // 0 = "Wilson Cruz" (matches both keywords)
+        // 1 = "Charlie Wilson's War" (matches "wilson")
+        // 2 = "Tom Hanks" (free, very important)
+        // 3 = "America: A Tribute to Heroes" (free)
+        // 4 = "Penelope Cruz" (matches "cruz")
+        let n: Vec<NodeId> = (0..5).map(|_| b.add_node(0, vec![])).collect();
+        b.add_pair(n[1], n[2], 1.0, 1.0);
+        b.add_pair(n[2], n[3], 1.0, 1.0);
+        b.add_pair(n[3], n[4], 1.0, 1.0);
+        b.add_pair(n[0], n[1], 1.0, 1.0); // keep the graph connected
+        let g = b.build();
+        let p = vec![0.05, 0.1, 0.6, 0.1, 0.15];
+        (g, p)
+    }
+
+    #[test]
+    fn avg_all_importance_suffers_free_node_domination() {
+        let (g, p) = fig4();
+        let s = Scorer::new(&g, &p, 0.05, Dampening::paper_default());
+        let t1 = Jtt::singleton(NodeId(0));
+        let t2 = Jtt::new(
+            vec![NodeId(1), NodeId(2), NodeId(3), NodeId(4)],
+            vec![(0, 1), (1, 2), (2, 3)],
+        )
+        .unwrap();
+        let b1 = [NodeBinding { pos: 0, match_count: 2, word_count: 2 }];
+        let b2 = [
+            NodeBinding { pos: 0, match_count: 1, word_count: 4 },
+            NodeBinding { pos: 3, match_count: 1, word_count: 2 },
+        ];
+        let alt1 = score_alternative(AlternativeScore::AvgAllImportance, &s, &t1, &b1);
+        let alt2 = score_alternative(AlternativeScore::AvgAllImportance, &s, &t2, &b2);
+        // The flawed alternative ranks the irrelevant tree higher...
+        assert!(alt2 > alt1, "free-node domination: {alt2} vs {alt1}");
+        // ...while RWMP ranks the single relevant node higher.
+        let rwmp1 = s.score_tree(&t1, &b1).score;
+        let rwmp2 = s.score_tree(&t2, &b2).score;
+        assert!(rwmp1 > rwmp2, "RWMP avoids domination: {rwmp1} vs {rwmp2}");
+    }
+
+    #[test]
+    fn avg_non_free_ignores_cohesiveness() {
+        let (g, p) = fig4();
+        let s = Scorer::new(&g, &p, 0.05, Dampening::paper_default());
+        // Long chain 1—2—3—4 vs short pair 0—1: the alternative only looks
+        // at endpoint importance, so the loosely connected pair wins.
+        let long = Jtt::new(
+            vec![NodeId(1), NodeId(2), NodeId(3), NodeId(4)],
+            vec![(0, 1), (1, 2), (2, 3)],
+        )
+        .unwrap();
+        let bl = [
+            NodeBinding { pos: 0, match_count: 1, word_count: 4 },
+            NodeBinding { pos: 3, match_count: 1, word_count: 2 },
+        ];
+        let short = Jtt::new(vec![NodeId(0), NodeId(1)], vec![(0, 1)]).unwrap();
+        let bs = [
+            NodeBinding { pos: 0, match_count: 1, word_count: 2 },
+            NodeBinding { pos: 1, match_count: 1, word_count: 4 },
+        ];
+        let alt_long = score_alternative(AlternativeScore::AvgNonFreeImportance, &s, &long, &bl);
+        let alt_short = score_alternative(AlternativeScore::AvgNonFreeImportance, &s, &short, &bs);
+        // Endpoint averages: (0.1 + 0.15)/2 vs (0.05 + 0.1)/2.
+        assert!(alt_long > alt_short);
+        // RWMP penalizes the long, heavily dampened connection.
+        let r_long = s.score_tree(&long, &bl).score;
+        let r_short = s.score_tree(&short, &bs).score;
+        assert!(r_short > r_long);
+    }
+
+    #[test]
+    fn per_size_equal_for_star_and_chain() {
+        // Star and chain over importance-identical node sets score the same
+        // under avg/size — the structural blindness of §III-B.
+        let mut b = GraphBuilder::new();
+        let n: Vec<NodeId> = (0..9).map(|_| b.add_node(0, vec![])).collect();
+        // Star: 0 center, leaves 1-4. Chain: 5-6-7-8 ... need 5 nodes; use
+        // nodes 4..8 as chain with center 6.
+        for i in 1..=4 {
+            b.add_pair(n[0], n[i], 1.0, 1.0);
+        }
+        for w in [5, 6, 7, 8].windows(2) {
+            b.add_pair(n[w[0]], n[w[1]], 1.0, 1.0);
+        }
+        b.add_pair(n[0], n[5], 1.0, 1.0); // connect components
+        let g = b.build();
+        let p = vec![0.1, 0.2, 0.2, 0.2, 0.2, 0.2, 0.1, 0.2, 0.2];
+        let s = Scorer::new(&g, &p, 0.1, Dampening::paper_default());
+        let star = Jtt::new(
+            vec![n[0], n[1], n[2], n[3], n[4]],
+            vec![(0, 1), (0, 2), (0, 3), (0, 4)],
+        )
+        .unwrap();
+        let chain = Jtt::new(
+            vec![n[5], n[6], n[7], n[8], n[4]],
+            vec![(0, 1), (1, 2), (2, 3), (0, 4)],
+        )
+        .unwrap();
+        let bind_star = [1usize, 2, 3, 4].map(|pos| NodeBinding { pos, match_count: 1, word_count: 1 });
+        let bind_chain = [0usize, 2, 3, 4].map(|pos| NodeBinding { pos, match_count: 1, word_count: 1 });
+        let a = score_alternative(AlternativeScore::AvgImportancePerSize, &s, &star, &bind_star);
+        let c = score_alternative(AlternativeScore::AvgImportancePerSize, &s, &chain, &bind_chain);
+        assert!((a - c).abs() < 1e-12, "alternative cannot tell star from chain");
+    }
+}

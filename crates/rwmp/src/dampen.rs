@@ -1,0 +1,133 @@
+/// The dampening strategy applied when messages pass through a node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Dampening {
+    /// The paper's logarithmic dampening (Eq. 2):
+    /// `d_i = 1 − (1−α)^{1 + log_g(p_i / p_min)}`.
+    ///
+    /// `alpha` is the probability a surfer keeps the messages during one
+    /// in-node talk step; `g` the listener-group size. The paper's defaults
+    /// are α = 0.15 and g = 20 (best MRR on both datasets, Figs. 6–7).
+    Logarithmic { alpha: f64, g: f64 },
+    /// The rejected straw-man of §III-C.2: dampening rate proportional to
+    /// importance, `d_i = p_i / p_max` (floored to stay positive). Kept for
+    /// ablation benchmarks — its range is "too large and inflexible".
+    Linear { p_max: f64 },
+}
+
+impl Dampening {
+    /// The paper's default configuration.
+    pub fn paper_default() -> Self {
+        Dampening::Logarithmic { alpha: 0.15, g: 20.0 }
+    }
+}
+
+/// Fraction of messages a node retains and forwards (`d_i`).
+///
+/// Requires `p_i ≥ p_min > 0`. For logarithmic dampening the result lies in
+/// `[α, 1)` and increases monotonically with `p_i`.
+pub fn dampening_rate(kind: Dampening, p_i: f64, p_min: f64) -> f64 {
+    debug_assert!(p_min > 0.0, "p_min must be positive");
+    debug_assert!(
+        p_i >= p_min * (1.0 - 1e-9),
+        "node importance {p_i} below p_min {p_min}"
+    );
+    match kind {
+        Dampening::Logarithmic { alpha, g } => {
+            assert!((0.0..1.0).contains(&alpha) && alpha > 0.0, "alpha must lie in (0,1)");
+            assert!(g > 1.0, "group size g must exceed 1");
+            let steps = 1.0 + (p_i / p_min).max(1.0).log(g);
+            // Clamp: extreme α/importance ratios saturate the power term to
+            // 0.0 in f64, which would round d up to exactly 1.0 and break
+            // the documented d < 1 contract (messages never pass lossless).
+            (1.0 - (1.0 - alpha).powf(steps)).min(1.0 - f64::EPSILON)
+        }
+        Dampening::Linear { p_max } => {
+            assert!(p_max > 0.0, "p_max must be positive");
+            (p_i / p_max).clamp(1e-12, 1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P_MIN: f64 = 1e-6;
+
+    #[test]
+    fn minimum_importance_dampens_to_alpha() {
+        // p_i = p_min ⇒ exponent is 1 ⇒ d = α.
+        let d = dampening_rate(Dampening::Logarithmic { alpha: 0.15, g: 20.0 }, P_MIN, P_MIN);
+        assert!((d - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_in_importance() {
+        let kind = Dampening::paper_default();
+        let mut last = 0.0;
+        for exp in 0..8 {
+            let p = P_MIN * 10f64.powi(exp);
+            let d = dampening_rate(kind, p, P_MIN);
+            assert!(d > last, "d({p}) = {d} not increasing");
+            assert!(d < 1.0);
+            last = d;
+        }
+    }
+
+    #[test]
+    fn bounded_in_unit_interval() {
+        let kind = Dampening::Logarithmic { alpha: 0.4, g: 2.0 };
+        for exp in 0..12 {
+            let d = dampening_rate(kind, P_MIN * 2f64.powi(exp), P_MIN);
+            assert!((0.4..1.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn larger_g_reduces_dampening_spread() {
+        // With fixed α, increasing g lowers the maximal dampening rate
+        // (fewer talk steps for the same importance ratio) — the effect the
+        // paper notes under Fig. 7.
+        let p = P_MIN * 1e5;
+        let d_small_g =
+            dampening_rate(Dampening::Logarithmic { alpha: 0.15, g: 2.0 }, p, P_MIN);
+        let d_large_g =
+            dampening_rate(Dampening::Logarithmic { alpha: 0.15, g: 30.0 }, p, P_MIN);
+        assert!(d_small_g > d_large_g);
+    }
+
+    #[test]
+    fn linear_variant_proportional() {
+        let kind = Dampening::Linear { p_max: 0.5 };
+        assert!((dampening_rate(kind, 0.25, P_MIN) - 0.5).abs() < 1e-12);
+        assert!((dampening_rate(kind, 0.5, P_MIN) - 1.0).abs() < 1e-12);
+        // Extremely small importance stays positive.
+        assert!(dampening_rate(kind, P_MIN, P_MIN) > 0.0);
+    }
+
+    #[test]
+    fn linear_range_is_much_wider_than_logarithmic() {
+        // The motivation for Eq. 2: with importance spanning 10^5, the
+        // linear rate spans 10^5 while the logarithmic rate stays within
+        // one order of magnitude.
+        let hi = P_MIN * 1e5;
+        let lin_lo = dampening_rate(Dampening::Linear { p_max: hi }, P_MIN, P_MIN);
+        let lin_hi = dampening_rate(Dampening::Linear { p_max: hi }, hi, P_MIN);
+        let log_lo = dampening_rate(Dampening::paper_default(), P_MIN, P_MIN);
+        let log_hi = dampening_rate(Dampening::paper_default(), hi, P_MIN);
+        assert!(lin_hi / lin_lo > 1e4);
+        assert!(log_hi / log_lo < 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn alpha_out_of_range_rejected() {
+        dampening_rate(Dampening::Logarithmic { alpha: 1.5, g: 20.0 }, P_MIN, P_MIN);
+    }
+
+    #[test]
+    #[should_panic(expected = "group size")]
+    fn g_out_of_range_rejected() {
+        dampening_rate(Dampening::Logarithmic { alpha: 0.15, g: 1.0 }, P_MIN, P_MIN);
+    }
+}

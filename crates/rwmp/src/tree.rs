@@ -1,0 +1,334 @@
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+use ci_graph::NodeId;
+
+/// Errors raised when assembling a joined tuple tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    /// An edge referenced a position outside the node list.
+    EdgeOutOfRange { edge: (usize, usize), nodes: usize },
+    /// The edge set does not form a tree (wrong count, cycle, or
+    /// disconnected).
+    NotATree,
+    /// The node list contains a duplicate graph node.
+    DuplicateNode(NodeId),
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::EdgeOutOfRange { edge, nodes } => write!(
+                f,
+                "edge ({}, {}) out of range for {nodes} nodes",
+                edge.0, edge.1
+            ),
+            TreeError::NotATree => write!(f, "edge set does not form a tree"),
+            TreeError::DuplicateNode(n) => write!(f, "node {n} appears twice"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+/// Canonical identity of a JTT: its sorted node set plus its sorted,
+/// orientation-normalized edge list (see [`Jtt::canonical_key`]).
+pub type CanonicalKey = (Vec<NodeId>, Vec<(NodeId, NodeId)>);
+
+/// A joined tuple tree (Definition 3 of the paper): an unrooted tree over
+/// data-graph nodes. Edges are stored as position pairs into the node list;
+/// adjacency is precomputed for message passing.
+#[derive(Debug, Clone)]
+pub struct Jtt {
+    nodes: Vec<NodeId>,
+    edges: Vec<(usize, usize)>,
+    adj: Vec<Vec<usize>>,
+}
+
+impl Jtt {
+    /// Builds a JTT from a node list and undirected position-pair edges,
+    /// validating tree-ness.
+    pub fn new(nodes: Vec<NodeId>, edges: Vec<(usize, usize)>) -> Result<Self, TreeError> {
+        let n = nodes.len();
+        {
+            let mut sorted = nodes.clone();
+            sorted.sort_unstable();
+            for w in sorted.windows(2) {
+                if w[0] == w[1] {
+                    return Err(TreeError::DuplicateNode(w[0]));
+                }
+            }
+        }
+        if edges.len() + 1 != n {
+            return Err(TreeError::NotATree);
+        }
+        let mut adj = vec![Vec::new(); n];
+        for &(a, b) in &edges {
+            if a >= n || b >= n || a == b {
+                return Err(TreeError::EdgeOutOfRange { edge: (a, b), nodes: n });
+            }
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        // Connectivity check (|E| = |V| − 1 plus connected ⇒ tree).
+        if n > 0 {
+            let mut seen = vec![false; n];
+            let mut stack = vec![0usize];
+            seen[0] = true;
+            let mut count = 1;
+            while let Some(v) = stack.pop() {
+                for &u in &adj[v] {
+                    if !seen[u] {
+                        seen[u] = true;
+                        count += 1;
+                        stack.push(u);
+                    }
+                }
+            }
+            if count != n {
+                return Err(TreeError::NotATree);
+            }
+        }
+        for a in &mut adj {
+            a.sort_unstable();
+        }
+        Ok(Jtt { nodes, edges, adj })
+    }
+
+    /// A single-node tree.
+    pub fn singleton(node: NodeId) -> Self {
+        Jtt::new(vec![node], vec![]).expect("singleton is a tree")
+    }
+
+    /// Graph node at a tree position.
+    #[inline]
+    pub fn node(&self, pos: usize) -> NodeId {
+        self.nodes[pos]
+    }
+
+    /// All graph nodes, by position.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Undirected edges as position pairs.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Tree positions adjacent to `pos`.
+    pub fn adjacent(&self, pos: usize) -> &[usize] {
+        &self.adj[pos]
+    }
+
+    /// Number of nodes (the paper's `size(T)`).
+    pub fn size(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Position of a graph node within the tree, if present.
+    pub fn position(&self, node: NodeId) -> Option<usize> {
+        self.nodes.iter().position(|&n| n == node)
+    }
+
+    /// True if the graph node appears in the tree.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.position(node).is_some()
+    }
+
+    /// Tree positions with degree ≤ 1 (leaves; a singleton's only node is a
+    /// leaf).
+    pub fn leaves(&self) -> Vec<usize> {
+        (0..self.size()).filter(|&p| self.adj[p].len() <= 1).collect()
+    }
+
+    /// Hop distances from `pos` to every tree position.
+    pub fn distances_from(&self, pos: usize) -> Vec<u32> {
+        let mut dist = vec![u32::MAX; self.size()];
+        dist[pos] = 0;
+        let mut q = VecDeque::from([pos]);
+        while let Some(v) = q.pop_front() {
+            for &u in &self.adj[v] {
+                if dist[u] == u32::MAX {
+                    dist[u] = dist[v] + 1;
+                    q.push_back(u);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Longest path length (in hops) between any two nodes.
+    pub fn diameter(&self) -> u32 {
+        if self.size() <= 1 {
+            return 0;
+        }
+        // Double BFS: farthest node from 0, then farthest from that.
+        let d0 = self.distances_from(0);
+        let far = (0..self.size()).max_by_key(|&i| d0[i]).unwrap_or(0);
+        let d1 = self.distances_from(far);
+        d1.into_iter().max().unwrap_or(0)
+    }
+
+    /// Canonical identity: sorted graph-node edge pairs plus the sorted node
+    /// set. Two JTTs over the same graph nodes and connections compare equal
+    /// regardless of construction order — used to deduplicate answers.
+    pub fn canonical_key(&self) -> CanonicalKey {
+        let mut nodes = self.nodes.clone();
+        nodes.sort_unstable();
+        let mut edges: Vec<(NodeId, NodeId)> = self
+            .edges
+            .iter()
+            .map(|&(a, b)| {
+                let (x, y) = (self.nodes[a], self.nodes[b]);
+                if x <= y {
+                    (x, y)
+                } else {
+                    (y, x)
+                }
+            })
+            .collect();
+        edges.sort_unstable();
+        (nodes, edges)
+    }
+
+    /// Validity as a query answer (Definition 3): every leaf must be a
+    /// matcher, and with `root` given, a single-child root must be a matcher
+    /// too. `is_matcher(pos)` says whether the node at a position matches
+    /// some query keyword.
+    pub fn is_reduced<F: Fn(usize) -> bool>(&self, root: Option<usize>, is_matcher: F) -> bool {
+        for p in 0..self.size() {
+            let deg = self.adj[p].len();
+            let must_match = match root {
+                Some(r) if p == r => deg == 1, // single-child root
+                _ => deg <= 1,                 // leaf
+            };
+            if must_match && !is_matcher(p) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Positions on the unique path between two tree positions, inclusive.
+    pub fn path(&self, from: usize, to: usize) -> Vec<usize> {
+        let mut parent: HashMap<usize, usize> = HashMap::new();
+        let mut q = VecDeque::from([from]);
+        parent.insert(from, from);
+        while let Some(v) = q.pop_front() {
+            if v == to {
+                break;
+            }
+            for &u in &self.adj[v] {
+                parent.entry(u).or_insert_with(|| {
+                    q.push_back(u);
+                    v
+                });
+            }
+        }
+        let mut path = vec![to];
+        let mut cur = to;
+        while cur != from {
+            cur = parent[&cur];
+            path.push(cur);
+        }
+        path.reverse();
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    /// Chain 10 — 11 — 12 — 13.
+    fn chain4() -> Jtt {
+        Jtt::new(vec![n(10), n(11), n(12), n(13)], vec![(0, 1), (1, 2), (2, 3)]).unwrap()
+    }
+
+    /// Star with center 20 and leaves 21..24.
+    fn star4() -> Jtt {
+        Jtt::new(
+            vec![n(20), n(21), n(22), n(23), n(24)],
+            vec![(0, 1), (0, 2), (0, 3), (0, 4)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn tree_validation() {
+        assert!(Jtt::new(vec![n(1), n(2)], vec![]).is_err()); // disconnected
+        assert!(Jtt::new(vec![n(1), n(2), n(3)], vec![(0, 1), (1, 2), (2, 0)]).is_err()); // cycle / count
+        assert_eq!(
+            Jtt::new(vec![n(1), n(1)], vec![(0, 1)]).unwrap_err(),
+            TreeError::DuplicateNode(n(1))
+        );
+        assert!(matches!(
+            Jtt::new(vec![n(1), n(2)], vec![(0, 5)]).unwrap_err(),
+            TreeError::EdgeOutOfRange { .. }
+        ));
+        // Self-loop edge rejected.
+        assert!(Jtt::new(vec![n(1), n(2)], vec![(0, 0)]).is_err());
+    }
+
+    #[test]
+    fn singleton_properties() {
+        let t = Jtt::singleton(n(5));
+        assert_eq!(t.size(), 1);
+        assert_eq!(t.diameter(), 0);
+        assert_eq!(t.leaves(), vec![0]);
+        assert!(t.contains(n(5)));
+    }
+
+    #[test]
+    fn leaves_and_diameter() {
+        let c = chain4();
+        assert_eq!(c.leaves(), vec![0, 3]);
+        assert_eq!(c.diameter(), 3);
+        let s = star4();
+        assert_eq!(s.leaves(), vec![1, 2, 3, 4]);
+        assert_eq!(s.diameter(), 2);
+    }
+
+    #[test]
+    fn distances_and_paths() {
+        let c = chain4();
+        assert_eq!(c.distances_from(0), vec![0, 1, 2, 3]);
+        assert_eq!(c.path(0, 3), vec![0, 1, 2, 3]);
+        assert_eq!(c.path(3, 1), vec![3, 2, 1]);
+        assert_eq!(c.path(2, 2), vec![2]);
+    }
+
+    #[test]
+    fn canonical_key_is_order_independent() {
+        let a = Jtt::new(vec![n(1), n(2), n(3)], vec![(0, 1), (1, 2)]).unwrap();
+        let b = Jtt::new(vec![n(3), n(2), n(1)], vec![(0, 1), (1, 2)]).unwrap();
+        assert_eq!(a.canonical_key(), b.canonical_key());
+        let c = Jtt::new(vec![n(1), n(2), n(3)], vec![(0, 2), (2, 1)]).unwrap();
+        assert_ne!(a.canonical_key(), c.canonical_key());
+    }
+
+    #[test]
+    fn reduced_check() {
+        let c = chain4();
+        // Leaves are positions 0 and 3.
+        assert!(c.is_reduced(None, |p| p == 0 || p == 3));
+        assert!(!c.is_reduced(None, |p| p == 0));
+        // A single-child root must also match.
+        assert!(!c.is_reduced(Some(0), |p| p == 3));
+        let s = star4();
+        // Center as root has 4 children: no extra requirement on it.
+        assert!(s.is_reduced(Some(0), |p| p != 0));
+    }
+
+    #[test]
+    fn position_lookup() {
+        let c = chain4();
+        assert_eq!(c.position(n(12)), Some(2));
+        assert_eq!(c.position(n(99)), None);
+    }
+}

@@ -1,0 +1,362 @@
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+use ci_graph::NodeId;
+use ci_index::DistanceOracle;
+use ci_rwmp::Scorer;
+
+use crate::answer::{score_answer, Answer, TopK};
+use crate::bounds::{distance_prune, upper_bound};
+use crate::candidate::Candidate;
+use crate::query::QuerySpec;
+use crate::validity::{is_valid_answer, leaves_matchable};
+use crate::SearchOptions;
+
+/// Counters describing one branch-and-bound run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Candidates popped from the priority queue (grow steps).
+    pub pops: usize,
+    /// Candidates registered (enqueued) in total.
+    pub registered: usize,
+    /// Candidates rejected by the upper-bound test at registration.
+    pub bound_pruned: usize,
+    /// Candidates rejected by the distance-feasibility test.
+    pub distance_pruned: usize,
+    /// Merge attempts performed.
+    pub merges: usize,
+    /// True if `max_expansions` was hit before the queue emptied — the
+    /// top-k guarantee does not hold for a truncated run.
+    pub truncated: bool,
+}
+
+struct HeapItem {
+    ub: f64,
+    idx: usize,
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.ub == other.ub && self.idx == other.idx
+    }
+}
+impl Eq for HeapItem {}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap on the upper bound.
+        self.ub
+            .total_cmp(&other.ub)
+            .then_with(|| other.idx.cmp(&self.idx))
+    }
+}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct Engine<'a> {
+    scorer: &'a Scorer<'a>,
+    query: &'a QuerySpec,
+    oracle: &'a dyn DistanceOracle,
+    opts: &'a SearchOptions,
+    arena: Vec<Candidate>,
+    queue: BinaryHeap<HeapItem>,
+    by_root: HashMap<NodeId, Vec<usize>>,
+    seen: HashSet<(NodeId, ci_rwmp::CanonicalKey)>,
+    topk: TopK,
+    stats: SearchStats,
+}
+
+/// Branch-and-bound top-k search (Algorithm 1 of the paper).
+///
+/// Seeds one candidate per matcher node, repeatedly expands the candidate
+/// with the highest upper bound (tree grow), merges same-rooted candidates,
+/// and stops once the best remaining bound cannot beat the current top-k.
+/// With `opts.max_expansions` unset the result is exactly the optimal top-k
+/// (Theorem 1).
+pub fn bnb_search(
+    scorer: &Scorer<'_>,
+    query: &QuerySpec,
+    oracle: &dyn DistanceOracle,
+    opts: &SearchOptions,
+) -> (Vec<Answer>, SearchStats) {
+    // Oracle probes repeat massively across candidates; memoize per query.
+    let oracle = crate::cache::CachedOracle::new(oracle);
+    let mut eng = Engine {
+        scorer,
+        query,
+        oracle: &oracle,
+        opts,
+        arena: Vec::new(),
+        queue: BinaryHeap::new(),
+        by_root: HashMap::new(),
+        seen: HashSet::new(),
+        topk: TopK::new(opts.k),
+        stats: SearchStats::default(),
+    };
+    if !query.answerable() {
+        return (Vec::new(), eng.stats);
+    }
+    for m in query.matchers() {
+        eng.register(Candidate::seed(m.node, m.mask));
+    }
+    while let Some(HeapItem { ub, idx }) = eng.queue.pop() {
+        if let Some(min) = eng.topk.min_score() {
+            if ub < min {
+                break; // Lines 9–11: nothing left can beat the top-k.
+            }
+        }
+        if eng.stats.truncated {
+            break; // registration budget exhausted inside a merge cascade
+        }
+        if let Some(cap) = eng.opts.max_expansions {
+            if eng.stats.pops >= cap {
+                eng.stats.truncated = true;
+                break;
+            }
+        }
+        eng.stats.pops += 1;
+        let root = eng.arena[idx].root();
+        let neighbors: Vec<NodeId> = eng.scorer.graph().neighbors(root).collect();
+        for vj in neighbors {
+            if eng.arena[idx].contains(vj) {
+                continue;
+            }
+            let grown = eng.arena[idx].grow(vj, eng.query);
+            eng.register(grown);
+        }
+    }
+    (eng.topk.into_sorted(), eng.stats)
+}
+
+impl<'a> Engine<'a> {
+    /// Validates, bounds, enqueues, and eagerly merges a new candidate.
+    ///
+    /// Merge cascades at hub roots can register far more candidates than
+    /// the pop cap ever touches, so the expansion budget also bounds total
+    /// registrations (at 10× the pop cap).
+    fn register(&mut self, cand: Candidate) {
+        let registration_cap = self.opts.max_expansions.map(|m| m.saturating_mul(10));
+        let mut worklist = vec![cand];
+        while let Some(c) = worklist.pop() {
+            if let Some(cap) = registration_cap {
+                if self.stats.registered >= cap {
+                    self.stats.truncated = true;
+                    return;
+                }
+            }
+            if let Some(idx) = self.admit(&c) {
+                // Merge with every known candidate sharing the root.
+                let partners = self
+                    .by_root
+                    .get(&c.root())
+                    .cloned()
+                    .unwrap_or_default();
+                for p in partners {
+                    if p == idx {
+                        continue;
+                    }
+                    self.stats.merges += 1;
+                    let partner = &self.arena[p];
+                    if !self.merge_allowed(&c, partner) {
+                        continue;
+                    }
+                    if let Some(m) = c.merge(partner) {
+                        worklist.push(m);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Checks a candidate against all prunes; on success stores it, offers
+    /// it to the top-k (if a valid complete answer), and returns its arena
+    /// index.
+    fn admit(&mut self, cand: &Candidate) -> Option<usize> {
+        if cand.diameter > self.opts.diameter || cand.size() > self.opts.max_tree_nodes {
+            return None;
+        }
+        // Non-root leaves stay leaves: their keyword assignment must be
+        // feasible in any extension.
+        let tree = cand.to_jtt();
+        if !leaves_matchable(&tree, self.query, &cand.frozen_leaves()) {
+            return None;
+        }
+        if !self.seen.insert(cand.dedup_key()) {
+            return None;
+        }
+        if distance_prune(self.query, self.oracle, cand, self.opts.diameter) {
+            self.stats.distance_pruned += 1;
+            return None;
+        }
+        let ub = upper_bound(
+            self.scorer,
+            self.query,
+            self.oracle,
+            cand,
+            self.opts.allow_redundant_matchers,
+        );
+        if let Some(min) = self.topk.min_score() {
+            if ub < min {
+                self.stats.bound_pruned += 1;
+                return None;
+            }
+        }
+        if cand.mask == self.query.full_mask() && is_valid_answer(&tree, self.query) {
+            if let Some(score) = score_answer(self.scorer, self.query, &tree) {
+                self.topk.offer(Answer { tree, score });
+            }
+        }
+        let idx = self.arena.len();
+        self.arena.push(cand.clone());
+        self.by_root.entry(cand.root()).or_default().push(idx);
+        self.queue.push(HeapItem { ub, idx });
+        self.stats.registered += 1;
+        Some(idx)
+    }
+
+    fn merge_allowed(&self, a: &Candidate, b: &Candidate) -> bool {
+        if self.opts.allow_redundant_matchers {
+            true
+        } else {
+            // Paper wording: the merge must cover more keywords than
+            // either operand.
+            let union = a.mask | b.mask;
+            union != a.mask && union != b.mask
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QuerySpec;
+    use ci_graph::GraphBuilder;
+    use ci_index::NoIndex;
+    use ci_rwmp::Dampening;
+
+    /// The Papakonstantinou–Ullman scenario: two author nodes connected by
+    /// two alternative paper nodes of very different importance.
+    fn coauthor_graph() -> (ci_graph::Graph, Vec<f64>) {
+        let mut b = GraphBuilder::new();
+        let n: Vec<NodeId> = (0..4).map(|_| b.add_node(0, vec![])).collect();
+        // 0 = author A, 2 = author B, 1 = weak paper, 3 = strong paper.
+        b.add_pair(n[0], n[1], 1.0, 1.0);
+        b.add_pair(n[1], n[2], 1.0, 1.0);
+        b.add_pair(n[0], n[3], 1.0, 1.0);
+        b.add_pair(n[3], n[2], 1.0, 1.0);
+        (b.build(), vec![0.2, 0.05, 0.2, 0.55])
+    }
+
+    #[test]
+    fn finds_both_answers_ranked_by_connector_importance() {
+        let (g, p) = coauthor_graph();
+        let scorer = Scorer::new(&g, &p, 0.05, Dampening::paper_default());
+        let q = QuerySpec::from_matches(
+            &scorer,
+            vec!["papakonstantinou".into(), "ullman".into()],
+            vec![(NodeId(0), 0b01, 2), (NodeId(2), 0b10, 2)],
+        );
+        let (answers, stats) = bnb_search(&scorer, &q, &NoIndex, &SearchOptions::default());
+        assert!(!stats.truncated);
+        assert_eq!(answers.len(), 2, "two connecting papers, two answers");
+        // Best answer goes through the important paper (node 3).
+        assert!(answers[0].tree.contains(NodeId(3)));
+        assert!(answers[1].tree.contains(NodeId(1)));
+        assert!(answers[0].score > answers[1].score);
+    }
+
+    #[test]
+    fn respects_k() {
+        let (g, p) = coauthor_graph();
+        let scorer = Scorer::new(&g, &p, 0.05, Dampening::paper_default());
+        let q = QuerySpec::from_matches(
+            &scorer,
+            vec!["a".into(), "b".into()],
+            vec![(NodeId(0), 0b01, 2), (NodeId(2), 0b10, 2)],
+        );
+        let opts = SearchOptions { k: 1, ..Default::default() };
+        let (answers, _) = bnb_search(&scorer, &q, &NoIndex, &opts);
+        assert_eq!(answers.len(), 1);
+        assert!(answers[0].tree.contains(NodeId(3)));
+    }
+
+    #[test]
+    fn unanswerable_query_returns_empty() {
+        let (g, p) = coauthor_graph();
+        let scorer = Scorer::new(&g, &p, 0.05, Dampening::paper_default());
+        let q = QuerySpec::from_matches(
+            &scorer,
+            vec!["a".into(), "ghost".into()],
+            vec![(NodeId(0), 0b01, 2)],
+        );
+        let (answers, _) = bnb_search(&scorer, &q, &NoIndex, &SearchOptions::default());
+        assert!(answers.is_empty());
+    }
+
+    #[test]
+    fn disconnected_matchers_yield_nothing() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node(0, vec![]);
+        let y = b.add_node(0, vec![]);
+        let z = b.add_node(0, vec![]);
+        b.add_pair(x, y, 1.0, 1.0);
+        let _ = z;
+        let g = b.build();
+        let p = vec![0.4, 0.3, 0.3];
+        let scorer = Scorer::new(&g, &p, 0.3, Dampening::paper_default());
+        let q = QuerySpec::from_matches(
+            &scorer,
+            vec!["a".into(), "b".into()],
+            vec![(NodeId(0), 0b01, 1), (NodeId(2), 0b10, 1)],
+        );
+        let (answers, _) = bnb_search(&scorer, &q, &NoIndex, &SearchOptions::default());
+        assert!(answers.is_empty());
+    }
+
+    #[test]
+    fn diameter_limits_answers() {
+        let (g, p) = coauthor_graph();
+        let scorer = Scorer::new(&g, &p, 0.05, Dampening::paper_default());
+        let q = QuerySpec::from_matches(
+            &scorer,
+            vec!["a".into(), "b".into()],
+            vec![(NodeId(0), 0b01, 2), (NodeId(2), 0b10, 2)],
+        );
+        // Matchers are 2 hops apart; D = 1 forbids any answer.
+        let opts = SearchOptions { diameter: 1, ..Default::default() };
+        let (answers, _) = bnb_search(&scorer, &q, &NoIndex, &opts);
+        assert!(answers.is_empty());
+    }
+
+    #[test]
+    fn single_node_answer_found() {
+        let (g, p) = coauthor_graph();
+        let scorer = Scorer::new(&g, &p, 0.05, Dampening::paper_default());
+        // Node 3 matches both keywords.
+        let q = QuerySpec::from_matches(
+            &scorer,
+            vec!["a".into(), "b".into()],
+            vec![(NodeId(3), 0b11, 3), (NodeId(0), 0b01, 2)],
+        );
+        let (answers, _) = bnb_search(&scorer, &q, &NoIndex, &SearchOptions::default());
+        assert!(!answers.is_empty());
+        assert_eq!(answers[0].tree.size(), 1);
+        assert_eq!(answers[0].tree.node(0), NodeId(3));
+    }
+
+    #[test]
+    fn truncation_reported() {
+        let (g, p) = coauthor_graph();
+        let scorer = Scorer::new(&g, &p, 0.05, Dampening::paper_default());
+        let q = QuerySpec::from_matches(
+            &scorer,
+            vec!["a".into(), "b".into()],
+            vec![(NodeId(0), 0b01, 2), (NodeId(2), 0b10, 2)],
+        );
+        let opts = SearchOptions { max_expansions: Some(1), ..Default::default() };
+        let (_, stats) = bnb_search(&scorer, &q, &NoIndex, &opts);
+        assert!(stats.truncated);
+    }
+}

@@ -1,0 +1,271 @@
+//! Upper bounds for the branch-and-bound search (§IV-B).
+//!
+//! `ub(C) = max(ce(C), pe(C))` must satisfy Lemma 1: no answer tree grown
+//! from candidate `C` may out-score it. The bound exploits the
+//! root-connection invariant (extensions attach only through the root):
+//!
+//! * flows between matchers *inside* `C` only shrink when the tree is
+//!   extended — splits dilute as nodes gain neighbors and extra hops only
+//!   dampen — so the in-candidate flow `f_ji` upper-bounds its final value;
+//! * a source for a *missing* keyword `k` must sit somewhere beyond the
+//!   root, so its flow into any node of `C` is at most
+//!   `max_{u ∈ En(k)} gen(u) · ρ(u, root)` with `ρ` the index's retention
+//!   upper bound (`ρ ≡ 1` without an index);
+//! * any *added* node receives messages of type `j ∈ S` only through the
+//!   root, so its Eq. 3 score is at most `min_{j ∈ S}` of the type-`j`
+//!   flow leaving the root — the potential estimate `pe`.
+//!
+//! The tree score (Eq. 4) averages over `S ∪ N` (existing and added
+//! matchers), which is bounded by `max(avg over S bound, max over N bound)
+//! = max(ce, pe)`.
+
+use ci_graph::NodeId;
+use ci_index::DistanceOracle;
+use ci_rwmp::Scorer;
+
+use crate::candidate::Candidate;
+use crate::query::QuerySpec;
+
+/// Computes `ub(C)`. `allow_redundant` mirrors
+/// [`crate::SearchOptions::allow_redundant_matchers`]: when off, a complete
+/// candidate cannot be usefully extended and its bound is its exact score.
+pub fn upper_bound(
+    scorer: &Scorer<'_>,
+    query: &QuerySpec,
+    oracle: &dyn DistanceOracle,
+    cand: &Candidate,
+    allow_redundant: bool,
+) -> f64 {
+    let tree = cand.to_jtt();
+    let root = cand.root();
+    // Matcher positions and infos.
+    let sources: Vec<(usize, &crate::query::MatcherInfo)> = (0..cand.size())
+        .filter_map(|pos| query.matcher(cand.nodes[pos]).map(|m| (pos, m)))
+        .collect();
+    assert!(!sources.is_empty(), "candidates contain at least one matcher");
+
+    let flows: Vec<Vec<f64>> = sources
+        .iter()
+        .map(|&(pos, m)| scorer.flows_from(&tree, pos, m.gen))
+        .collect();
+
+    // Tightest bound over sources of the missing keywords.
+    let full = query.full_mask();
+    let missing: Vec<usize> = (0..query.keyword_count())
+        .filter(|&k| cand.mask & (1 << k) == 0)
+        .collect();
+    let min_missing = missing
+        .iter()
+        .map(|&k| best_damped_gen(query, oracle, query.matchers_of(k), root, None))
+        .fold(f64::INFINITY, f64::min);
+
+    let complete = cand.mask == full;
+
+    // ce: mean over existing matchers of their per-node score bound.
+    let mut ce_sum = 0.0;
+    for (i, &(pos_i, m_i)) in sources.iter().enumerate() {
+        let internal_min = flows
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, f)| f[pos_i])
+            .fold(f64::INFINITY, f64::min);
+        let mut bound = internal_min.min(min_missing);
+        if bound.is_infinite() {
+            // Single matcher covering every keyword: the answer may be the
+            // candidate itself (score = its generation count)…
+            bound = m_i.gen;
+            if allow_redundant {
+                // …or an extension whose added sources flow through the
+                // root.
+                let ext = best_damped_gen(
+                    query,
+                    oracle,
+                    query.matchers_sorted(),
+                    root,
+                    Some(m_i.node),
+                );
+                bound = bound.max(ext);
+            }
+        }
+        ce_sum += bound;
+    }
+    let ce = ce_sum / sources.len() as f64;
+
+    if complete && !allow_redundant {
+        // No extension can stay a valid answer: the bound is the score of
+        // the candidate itself (ce reduces to it).
+        return ce;
+    }
+
+    // pe: messages of each existing type available beyond the root. An
+    // added node sits at least one hop past the root, so it retains at most
+    // the global maximum dampening rate of that flow.
+    let pe = sources
+        .iter()
+        .enumerate()
+        .map(|(j, &(pos_j, m_j))| if pos_j == 0 { m_j.gen } else { flows[j][0] })
+        .fold(f64::INFINITY, f64::min)
+        * scorer.max_dampening();
+
+    ce.max(pe)
+}
+
+/// `max_u gen(u) · ρ(u, root)` over a matcher list sorted by descending
+/// generation, with early exit: once the next raw generation cannot beat
+/// the current best (ρ ≤ 1), the scan stops.
+fn best_damped_gen(
+    query: &QuerySpec,
+    oracle: &dyn DistanceOracle,
+    sorted: &[NodeId],
+    root: NodeId,
+    exclude: Option<NodeId>,
+) -> f64 {
+    // After this many oracle probes, the unscanned tail is bounded by its
+    // largest raw generation instead (slightly looser but still an upper
+    // bound) so the per-candidate probe count stays constant even for
+    // keywords with thousands of matchers.
+    const PROBE_BUDGET: usize = 8;
+    let mut best = 0.0f64;
+    let mut probes = 0;
+    for &u in sorted {
+        if Some(u) == exclude {
+            continue;
+        }
+        let gen = query.matcher(u).expect("listed matcher").gen;
+        if gen <= best {
+            break;
+        }
+        if probes >= PROBE_BUDGET {
+            // Tail bound: the list is sorted, so every remaining entry has
+            // gen ≤ this one and ρ ≤ 1.
+            return best.max(gen);
+        }
+        let rho = if u == root {
+            1.0
+        } else {
+            oracle.retention_ub(u, root)
+        };
+        probes += 1;
+        best = best.max(gen * rho);
+    }
+    best
+}
+
+/// Distance-based feasibility prune: the candidate can be discarded when
+/// some missing keyword has no matcher close enough to the root to keep the
+/// final diameter within `d_max` (every completion path attaches at the
+/// root, so it spans `depth(C) + dist(root, u)` hops to the deepest
+/// existing leaf).
+pub fn distance_prune(
+    query: &QuerySpec,
+    oracle: &dyn DistanceOracle,
+    cand: &Candidate,
+    d_max: u32,
+) -> bool {
+    let root = cand.root();
+    for k in 0..query.keyword_count() {
+        if cand.mask & (1 << k) != 0 {
+            continue;
+        }
+        let reachable = query
+            .matchers_of(k)
+            .iter()
+            .any(|&u| oracle.dist_lb(root, u) + cand.depth <= d_max);
+        if !reachable {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ci_graph::GraphBuilder;
+    use ci_index::{NaiveIndex, NoIndex};
+    use ci_rwmp::Dampening;
+
+    /// Path 0(a) — 1 — 2(b), equal weights.
+    fn setup() -> (ci_graph::Graph, Vec<f64>) {
+        let mut b = GraphBuilder::new();
+        let n: Vec<NodeId> = (0..3).map(|_| b.add_node(0, vec![])).collect();
+        b.add_pair(n[0], n[1], 1.0, 1.0);
+        b.add_pair(n[1], n[2], 1.0, 1.0);
+        (b.build(), vec![0.25, 0.5, 0.25])
+    }
+
+    fn query_ab(scorer: &Scorer<'_>) -> QuerySpec {
+        QuerySpec::from_matches(
+            scorer,
+            vec!["a".into(), "b".into()],
+            vec![(NodeId(0), 0b01, 2), (NodeId(2), 0b10, 2)],
+        )
+    }
+
+    #[test]
+    fn bound_dominates_final_scores() {
+        let (g, p) = setup();
+        let scorer = Scorer::new(&g, &p, 0.25, Dampening::paper_default());
+        let q = query_ab(&scorer);
+        // Full answer: 0 — 1 — 2.
+        let full = Candidate::seed(NodeId(0), 0b01)
+            .grow(NodeId(1), &q)
+            .grow(NodeId(2), &q);
+        let answer_score =
+            crate::answer::score_answer(&scorer, &q, &full.to_jtt()).expect("has matchers");
+        // Every ancestor candidate must bound the final answer.
+        let seed = Candidate::seed(NodeId(0), 0b01);
+        let grown = seed.grow(NodeId(1), &q);
+        for c in [&seed, &grown, &full] {
+            let ub = upper_bound(&scorer, &q, &NoIndex, c, true);
+            assert!(
+                ub >= answer_score - 1e-12,
+                "ub {ub} must dominate answer score {answer_score}"
+            );
+        }
+    }
+
+    #[test]
+    fn index_tightens_the_bound() {
+        let (g, p) = setup();
+        let scorer = Scorer::new(&g, &p, 0.25, Dampening::paper_default());
+        let q = query_ab(&scorer);
+        let seed = Candidate::seed(NodeId(0), 0b01);
+        let loose = upper_bound(&scorer, &q, &NoIndex, &seed, true);
+        let damp: Vec<f64> = g.nodes().map(|v| scorer.dampening(v)).collect();
+        let idx = NaiveIndex::build(&g, &damp, 6);
+        let tight = upper_bound(&scorer, &q, &idx, &seed, true);
+        assert!(tight <= loose + 1e-12, "indexed bound {tight} ≤ {loose}");
+        assert!(tight < loose, "retention information must tighten the bound");
+    }
+
+    #[test]
+    fn distance_prune_fires_only_when_unreachable() {
+        let (g, p) = setup();
+        let scorer = Scorer::new(&g, &p, 0.25, Dampening::paper_default());
+        let q = query_ab(&scorer);
+        let damp: Vec<f64> = g.nodes().map(|v| scorer.dampening(v)).collect();
+        let idx = NaiveIndex::build(&g, &damp, 6);
+        let seed = Candidate::seed(NodeId(0), 0b01);
+        // b-matcher (node 2) is 2 hops away: fine for D = 2…
+        assert!(!distance_prune(&q, &idx, &seed, 2));
+        // …infeasible for D = 1.
+        assert!(distance_prune(&q, &idx, &seed, 1));
+        // Without an index nothing can be pruned.
+        assert!(!distance_prune(&q, &NoIndex, &seed, 1));
+    }
+
+    #[test]
+    fn complete_exclusive_candidate_bound_is_exact() {
+        let (g, p) = setup();
+        let scorer = Scorer::new(&g, &p, 0.25, Dampening::paper_default());
+        let q = query_ab(&scorer);
+        let full = Candidate::seed(NodeId(0), 0b01)
+            .grow(NodeId(1), &q)
+            .grow(NodeId(2), &q);
+        let score = crate::answer::score_answer(&scorer, &q, &full.to_jtt()).unwrap();
+        let ub = upper_bound(&scorer, &q, &NoIndex, &full, false);
+        assert!((ub - score).abs() < 1e-12, "ub {ub} vs score {score}");
+    }
+}

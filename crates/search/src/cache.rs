@@ -1,0 +1,87 @@
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use ci_graph::NodeId;
+use ci_index::DistanceOracle;
+
+/// Memoizing wrapper around a [`DistanceOracle`].
+///
+/// The branch-and-bound search probes the same (matcher, root) pairs over
+/// and over — every candidate sharing a root repeats the lookups, and star
+/// index case 3 (two non-star endpoints) costs `O(deg × deg)` per probe.
+/// Caching per query turns that into one probe per distinct pair.
+pub struct CachedOracle<'a> {
+    inner: &'a dyn DistanceOracle,
+    cache: RefCell<HashMap<(u32, u32), (u32, f64)>>,
+}
+
+impl<'a> CachedOracle<'a> {
+    /// Wraps an oracle for the duration of one query.
+    pub fn new(inner: &'a dyn DistanceOracle) -> Self {
+        CachedOracle {
+            inner,
+            cache: RefCell::new(HashMap::new()),
+        }
+    }
+
+    fn entry(&self, u: NodeId, v: NodeId) -> (u32, f64) {
+        if let Some(&e) = self.cache.borrow().get(&(u.0, v.0)) {
+            return e;
+        }
+        let e = (self.inner.dist_lb(u, v), self.inner.retention_ub(u, v));
+        self.cache.borrow_mut().insert((u.0, v.0), e);
+        e
+    }
+
+    /// Number of cached pairs (diagnostics).
+    pub fn len(&self) -> usize {
+        self.cache.borrow().len()
+    }
+
+    /// True if nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.cache.borrow().is_empty()
+    }
+}
+
+impl<'a> DistanceOracle for CachedOracle<'a> {
+    fn dist_lb(&self, u: NodeId, v: NodeId) -> u32 {
+        self.entry(u, v).0
+    }
+
+    fn retention_ub(&self, u: NodeId, v: NodeId) -> f64 {
+        self.entry(u, v).1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counting(RefCell<usize>);
+    impl DistanceOracle for Counting {
+        fn dist_lb(&self, _u: NodeId, _v: NodeId) -> u32 {
+            *self.0.borrow_mut() += 1;
+            3
+        }
+        fn retention_ub(&self, _u: NodeId, _v: NodeId) -> f64 {
+            0.5
+        }
+    }
+
+    #[test]
+    fn caches_after_first_probe() {
+        let inner = Counting(RefCell::new(0));
+        let cached = CachedOracle::new(&inner);
+        assert!(cached.is_empty());
+        for _ in 0..10 {
+            assert_eq!(cached.dist_lb(NodeId(1), NodeId(2)), 3);
+            assert_eq!(cached.retention_ub(NodeId(1), NodeId(2)), 0.5);
+        }
+        assert_eq!(*inner.0.borrow(), 1, "inner probed exactly once");
+        assert_eq!(cached.len(), 1);
+        // A different pair probes again.
+        cached.dist_lb(NodeId(2), NodeId(1));
+        assert_eq!(cached.len(), 2);
+    }
+}

@@ -1,0 +1,235 @@
+use ci_graph::NodeId;
+use ci_rwmp::Jtt;
+
+use crate::query::QuerySpec;
+
+/// A rooted candidate tree of the branch-and-bound search (§IV-B).
+///
+/// Position 0 is always the root. The *root-connection invariant* of the
+/// paper's grow/merge construction — a candidate only ever attaches to the
+/// rest of a larger tree through its root — is what makes the upper bounds
+/// sound.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// Graph nodes; `nodes[0]` is the root.
+    pub nodes: Vec<NodeId>,
+    /// Parent position per node; `parent[0] == 0`.
+    pub parent: Vec<u32>,
+    /// Union of matched keyword bits.
+    pub mask: u32,
+    /// Maximum root-to-leaf depth.
+    pub depth: u32,
+    /// Tree diameter.
+    pub diameter: u32,
+}
+
+impl Candidate {
+    /// Initial candidate: a single matcher node.
+    pub fn seed(node: NodeId, mask: u32) -> Self {
+        debug_assert!(mask != 0, "seed candidates are matcher nodes");
+        Candidate {
+            nodes: vec![node],
+            parent: vec![0],
+            mask,
+            depth: 0,
+            diameter: 0,
+        }
+    }
+
+    /// The root node.
+    pub fn root(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// Number of nodes.
+    pub fn size(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the graph node appears in the candidate.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.nodes.contains(&node)
+    }
+
+    /// *Tree grow*: a new root `new_root` (a graph neighbor of the current
+    /// root, not already contained) adopts this candidate as its single
+    /// child subtree.
+    pub fn grow(&self, new_root: NodeId, query: &QuerySpec) -> Candidate {
+        debug_assert!(!self.contains(new_root), "grow target already in tree");
+        let mut nodes = Vec::with_capacity(self.nodes.len() + 1);
+        nodes.push(new_root);
+        nodes.extend_from_slice(&self.nodes);
+        let mut parent = Vec::with_capacity(self.parent.len() + 1);
+        parent.push(0);
+        // Old position i → new position i + 1; old root's parent is the new
+        // root (position 0).
+        parent.push(0);
+        for &p in &self.parent[1..] {
+            parent.push(p + 1);
+        }
+        Candidate {
+            nodes,
+            parent,
+            mask: self.mask | query.mask_of(new_root),
+            depth: self.depth + 1,
+            diameter: self.diameter.max(self.depth + 1),
+        }
+    }
+
+    /// *Tree merge*: combines two candidates sharing the same root. Returns
+    /// `None` when their non-root node sets intersect (the paper's sanity
+    /// check against cycles).
+    pub fn merge(&self, other: &Candidate) -> Option<Candidate> {
+        debug_assert_eq!(self.root(), other.root(), "merge requires equal roots");
+        for v in &other.nodes[1..] {
+            if self.nodes.contains(v) {
+                return None;
+            }
+        }
+        let mut nodes = self.nodes.clone();
+        nodes.extend_from_slice(&other.nodes[1..]);
+        let mut parent = self.parent.clone();
+        let offset = self.nodes.len() as u32 - 1;
+        for &p in &other.parent[1..] {
+            parent.push(if p == 0 { 0 } else { p + offset });
+        }
+        Some(Candidate {
+            nodes,
+            parent,
+            mask: self.mask | other.mask,
+            depth: self.depth.max(other.depth),
+            diameter: self
+                .diameter
+                .max(other.diameter)
+                .max(self.depth + other.depth),
+        })
+    }
+
+    /// Children count per position.
+    pub fn child_counts(&self) -> Vec<u32> {
+        let mut c = vec![0u32; self.nodes.len()];
+        for i in 1..self.nodes.len() {
+            c[self.parent[i] as usize] += 1;
+        }
+        c
+    }
+
+    /// Non-root leaf positions (these stay leaves in every extension).
+    pub fn frozen_leaves(&self) -> Vec<usize> {
+        let counts = self.child_counts();
+        (1..self.nodes.len()).filter(|&i| counts[i] == 0).collect()
+    }
+
+    /// Converts to an (unrooted) [`Jtt`].
+    pub fn to_jtt(&self) -> Jtt {
+        let edges = (1..self.nodes.len())
+            .map(|i| (self.parent[i] as usize, i))
+            .collect();
+        Jtt::new(self.nodes.clone(), edges).expect("candidates are trees by construction")
+    }
+
+    /// Canonical identity including the root (candidates with the same tree
+    /// but different roots expand differently and are both kept).
+    pub fn dedup_key(&self) -> (NodeId, ci_rwmp::CanonicalKey) {
+        (self.root(), self.to_jtt().canonical_key())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::MatcherInfo;
+
+    fn query(keywords: usize, matchers: Vec<(u32, u32)>) -> QuerySpec {
+        QuerySpec::new(
+            (0..keywords).map(|i| format!("k{i}")).collect(),
+            matchers
+                .into_iter()
+                .map(|(node, mask)| MatcherInfo {
+                    node: NodeId(node),
+                    mask,
+                    match_count: mask.count_ones(),
+                    word_count: 1,
+                    gen: 1.0,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn grow_chain_tracks_depth_and_diameter() {
+        let q = query(2, vec![(0, 0b01), (3, 0b10)]);
+        let c = Candidate::seed(NodeId(0), 0b01);
+        let c = c.grow(NodeId(1), &q);
+        assert_eq!(c.root(), NodeId(1));
+        assert_eq!(c.depth, 1);
+        assert_eq!(c.diameter, 1);
+        let c = c.grow(NodeId(2), &q);
+        assert_eq!(c.depth, 2);
+        assert_eq!(c.diameter, 2);
+        assert_eq!(c.nodes, vec![NodeId(2), NodeId(1), NodeId(0)]);
+        assert_eq!(c.mask, 0b01);
+        let jtt = c.to_jtt();
+        assert_eq!(jtt.diameter(), 2);
+    }
+
+    #[test]
+    fn merge_combines_subtrees_at_root() {
+        let q = query(2, vec![(0, 0b01), (2, 0b10)]);
+        let left = Candidate::seed(NodeId(0), 0b01).grow(NodeId(9), &q);
+        let right = Candidate::seed(NodeId(2), 0b10).grow(NodeId(9), &q);
+        let merged = left.merge(&right).expect("disjoint subtrees merge");
+        assert_eq!(merged.root(), NodeId(9));
+        assert_eq!(merged.size(), 3);
+        assert_eq!(merged.mask, 0b11);
+        assert_eq!(merged.depth, 1);
+        assert_eq!(merged.diameter, 2);
+        let jtt = merged.to_jtt();
+        assert_eq!(jtt.diameter(), 2);
+        assert_eq!(jtt.leaves().len(), 2);
+    }
+
+    #[test]
+    fn merge_rejects_overlap() {
+        let q = query(2, vec![(0, 0b01), (2, 0b10)]);
+        let a = Candidate::seed(NodeId(0), 0b01).grow(NodeId(9), &q);
+        let b = Candidate::seed(NodeId(2), 0b10)
+            .grow(NodeId(0), &q)
+            .grow(NodeId(9), &q);
+        assert!(a.merge(&b).is_none());
+    }
+
+    #[test]
+    fn merged_diameter_spans_both_depths() {
+        let q = query(2, vec![(0, 0b01), (5, 0b10)]);
+        let deep = Candidate::seed(NodeId(0), 0b01)
+            .grow(NodeId(1), &q)
+            .grow(NodeId(2), &q)
+            .grow(NodeId(9), &q); // depth 3
+        let shallow = Candidate::seed(NodeId(5), 0b10).grow(NodeId(9), &q); // depth 1
+        let merged = deep.merge(&shallow).unwrap();
+        assert_eq!(merged.depth, 3);
+        assert_eq!(merged.diameter, 4);
+        assert_eq!(merged.to_jtt().diameter(), 4);
+    }
+
+    #[test]
+    fn frozen_leaves_exclude_root() {
+        let q = query(2, vec![(0, 0b01), (2, 0b10)]);
+        let c = Candidate::seed(NodeId(0), 0b01).grow(NodeId(9), &q);
+        // Root 9 is extendable; node 0 is a frozen leaf.
+        assert_eq!(c.frozen_leaves(), vec![1]);
+        let seed = Candidate::seed(NodeId(2), 0b10);
+        assert!(seed.frozen_leaves().is_empty());
+    }
+
+    #[test]
+    fn dedup_key_distinguishes_roots() {
+        let q = query(2, vec![(0, 0b01), (1, 0b10)]);
+        // Same undirected tree {0—1}, rooted at 0 vs at 1.
+        let a = Candidate::seed(NodeId(0), 0b01).grow(NodeId(1), &q);
+        let b = Candidate::seed(NodeId(1), 0b10).grow(NodeId(0), &q);
+        assert_ne!(a.dedup_key(), b.dedup_key());
+        assert_eq!(a.to_jtt().canonical_key(), b.to_jtt().canonical_key());
+    }
+}

@@ -1,0 +1,103 @@
+//! Top-k answer search (§IV of the paper).
+//!
+//! Two algorithms produce the top-k joined tuple trees for a keyword query:
+//!
+//! * [`naive_search`] — §IV-A: breadth-first expansion from every non-free
+//!   node up to `⌈D/2⌉` hops, followed by combination of the discovered
+//!   paths at every candidate root. Complete but exhaustive; with
+//!   unconstrained enumeration limits it doubles as the exactness oracle in
+//!   tests.
+//! * [`bnb_search`] — §IV-B: branch-and-bound over *candidate trees* with
+//!   the paper's *tree grow* / *tree merge* expansion, a priority queue
+//!   ordered by upper bounds, and early termination once the queue head
+//!   cannot beat the current top-k (Algorithm 1). The upper bound is
+//!   `ub(C) = max(ce(C), pe(C))` — the complete and potential estimates —
+//!   made provably admissible as described in DESIGN.md, so the optimality
+//!   guarantee (Theorem 1) holds.
+//!
+//! Both accept a [`ci_index::DistanceOracle`]; an informative oracle (the
+//! naive or star index of §V) tightens the bounds and enables distance
+//! pruning, which is exactly the efficiency experiment of Figs. 11–12.
+//!
+//! # Example
+//!
+//! ```
+//! use ci_graph::{GraphBuilder, NodeId};
+//! use ci_index::NoIndex;
+//! use ci_rwmp::{Dampening, Scorer};
+//! use ci_search::{bnb_search, QuerySpec, SearchOptions};
+//!
+//! // Two matchers joined by a free connector node.
+//! let mut b = GraphBuilder::new();
+//! let x = b.add_node(0, vec![]);
+//! let hub = b.add_node(1, vec![]);
+//! let y = b.add_node(0, vec![]);
+//! b.add_pair(x, hub, 1.0, 1.0);
+//! b.add_pair(y, hub, 1.0, 1.0);
+//! let graph = b.build();
+//!
+//! let p = vec![0.25, 0.5, 0.25];
+//! let scorer = Scorer::new(&graph, &p, 0.25, Dampening::paper_default());
+//! let query = QuerySpec::from_matches(
+//!     &scorer,
+//!     vec!["left".into(), "right".into()],
+//!     vec![(x, 0b01, 2), (y, 0b10, 2)],
+//! );
+//! let (answers, stats) = bnb_search(&scorer, &query, &NoIndex, &SearchOptions::default());
+//! assert_eq!(answers.len(), 1);
+//! assert_eq!(answers[0].tree.size(), 3);
+//! assert!(!stats.truncated);
+//! ```
+
+mod answer;
+mod bnb;
+mod bounds;
+mod cache;
+mod candidate;
+mod naive;
+mod query;
+mod validity;
+
+pub use answer::{score_answer, Answer, TopK};
+pub use cache::CachedOracle;
+pub use bnb::{bnb_search, SearchStats};
+pub use naive::naive_search;
+pub use query::{MatcherInfo, QuerySpec};
+pub use validity::is_valid_answer;
+
+/// Tuning knobs shared by both search algorithms.
+#[derive(Debug, Clone)]
+pub struct SearchOptions {
+    /// Maximum tree diameter `D` (the paper evaluates 4–6).
+    pub diameter: u32,
+    /// Number of answers to return (`k`).
+    pub k: usize,
+    /// Hard cap on answer-tree size in nodes.
+    pub max_tree_nodes: usize,
+    /// Allow answers that contain more matcher nodes than keywords
+    /// (the extensions the potential estimate of §IV-B accounts for).
+    /// Disabling restricts the merge rule to the paper's "covers more
+    /// keywords than either" wording.
+    pub allow_redundant_matchers: bool,
+    /// Branch-and-bound: cap on queue pops before giving up (`None` =
+    /// unbounded; the result is flagged as truncated when hit).
+    pub max_expansions: Option<usize>,
+    /// Naive search: cap on stored paths per (matcher, endpoint) pair.
+    pub naive_max_paths: usize,
+    /// Naive search: cap on per-root keyword combinations.
+    pub naive_max_combinations: usize,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions {
+            diameter: 4,
+            k: 10,
+            max_tree_nodes: 10,
+            allow_redundant_matchers: true,
+            max_expansions: None,
+            naive_max_paths: 256,
+            naive_max_combinations: 100_000,
+        }
+    }
+}

@@ -1,0 +1,181 @@
+use ci_rwmp::Jtt;
+
+use crate::query::QuerySpec;
+
+/// Checks whether a tree is a valid query answer (Definition 3).
+///
+/// Conditions, stated root-free (equivalent to the rooted definition for
+/// every admissible root choice — see DESIGN.md):
+///
+/// 1. every keyword is contained in some tree node (AND semantics);
+/// 2. there is an assignment `f: keywords → nodes` with `f(k)` containing
+///    `k` whose image covers every *mandatory* node — the nodes of degree
+///    ≤ 1 (leaves, and a single-child root, which is a degree-1 node).
+///
+/// Condition 2 is a bipartite matching: each mandatory node must be paired
+/// with a distinct keyword it contains.
+pub fn is_valid_answer(tree: &Jtt, query: &QuerySpec) -> bool {
+    let kc = query.keyword_count();
+    let mut covered = 0u32;
+    for &v in tree.nodes() {
+        covered |= query.mask_of(v);
+    }
+    if covered != query.full_mask() {
+        return false;
+    }
+    let mandatory: Vec<usize> = tree.leaves();
+    if mandatory.len() > kc {
+        return false;
+    }
+    leaves_matchable(tree, query, &mandatory)
+}
+
+/// True if the given tree positions can be injectively assigned distinct
+/// keywords they contain (Hall condition via augmenting paths). Used both
+/// for final validity and as a monotone prune on candidate trees (non-root
+/// leaves stay leaves under root-only extension).
+pub fn leaves_matchable(tree: &Jtt, query: &QuerySpec, positions: &[usize]) -> bool {
+    let kc = query.keyword_count();
+    if positions.len() > kc {
+        return false;
+    }
+    // keyword -> assigned position index (into `positions`), or usize::MAX.
+    let mut owner = vec![usize::MAX; kc];
+    for (pi, &pos) in positions.iter().enumerate() {
+        let mask = query.mask_of(tree.node(pos));
+        if mask == 0 {
+            return false;
+        }
+        let mut seen = vec![false; kc];
+        if !augment(pi, mask, positions, tree, query, &mut owner, &mut seen) {
+            return false;
+        }
+    }
+    true
+}
+
+fn augment(
+    pi: usize,
+    mask: u32,
+    positions: &[usize],
+    tree: &Jtt,
+    query: &QuerySpec,
+    owner: &mut [usize],
+    seen: &mut [bool],
+) -> bool {
+    for k in 0..owner.len() {
+        if mask & (1 << k) == 0 || seen[k] {
+            continue;
+        }
+        seen[k] = true;
+        if owner[k] == usize::MAX {
+            owner[k] = pi;
+            return true;
+        }
+        let other = owner[k];
+        let other_mask = query.mask_of(tree.node(positions[other]));
+        if augment(other, other_mask, positions, tree, query, owner, seen) {
+            owner[k] = pi;
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::MatcherInfo;
+    use ci_graph::NodeId;
+
+    fn query2(matchers: Vec<(u32, u32)>) -> QuerySpec {
+        QuerySpec::new(
+            vec!["a".into(), "b".into()],
+            matchers
+                .into_iter()
+                .map(|(node, mask)| MatcherInfo {
+                    node: NodeId(node),
+                    mask,
+                    match_count: mask.count_ones(),
+                    word_count: 1,
+                    gen: 1.0,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn chain_with_distinct_matcher_leaves_is_valid() {
+        // 0(a) — 9(free) — 1(b)
+        let q = query2(vec![(0, 0b01), (1, 0b10)]);
+        let t = Jtt::new(vec![NodeId(0), NodeId(9), NodeId(1)], vec![(0, 1), (1, 2)]).unwrap();
+        assert!(is_valid_answer(&t, &q));
+    }
+
+    #[test]
+    fn free_leaf_invalidates() {
+        let q = query2(vec![(0, 0b01), (1, 0b10)]);
+        // 0(a) — 1(b) — 9(free leaf)
+        let t = Jtt::new(vec![NodeId(0), NodeId(1), NodeId(9)], vec![(0, 1), (1, 2)]).unwrap();
+        assert!(!is_valid_answer(&t, &q));
+    }
+
+    #[test]
+    fn missing_keyword_invalidates() {
+        let q = query2(vec![(0, 0b01), (1, 0b10)]);
+        let t = Jtt::singleton(NodeId(0));
+        assert!(!is_valid_answer(&t, &q));
+    }
+
+    #[test]
+    fn single_node_covering_all_keywords_is_valid() {
+        let q = query2(vec![(0, 0b11)]);
+        let t = Jtt::singleton(NodeId(0));
+        assert!(is_valid_answer(&t, &q));
+    }
+
+    #[test]
+    fn two_leaves_same_single_keyword_invalid() {
+        // Both leaves match only keyword a; keyword b sits on the middle.
+        let q = query2(vec![(0, 0b01), (1, 0b01), (2, 0b10)]);
+        let t = Jtt::new(vec![NodeId(0), NodeId(2), NodeId(1)], vec![(0, 1), (1, 2)]).unwrap();
+        assert!(!is_valid_answer(&t, &q));
+    }
+
+    #[test]
+    fn matching_untangles_overlapping_masks() {
+        // Leaf x matches {a}, leaf y matches {a, b}: assign x→a, y→b.
+        let q = query2(vec![(0, 0b01), (1, 0b11)]);
+        let t = Jtt::new(vec![NodeId(0), NodeId(9), NodeId(1)], vec![(0, 1), (1, 2)]).unwrap();
+        assert!(is_valid_answer(&t, &q));
+        // Order of leaves must not matter.
+        let t2 = Jtt::new(vec![NodeId(1), NodeId(9), NodeId(0)], vec![(0, 1), (1, 2)]).unwrap();
+        assert!(is_valid_answer(&t2, &q));
+    }
+
+    #[test]
+    fn more_leaves_than_keywords_invalid() {
+        // Star with 3 matcher leaves but only 2 keywords.
+        let q = query2(vec![(0, 0b11), (1, 0b11), (2, 0b11)]);
+        let t = Jtt::new(
+            vec![NodeId(9), NodeId(0), NodeId(1), NodeId(2)],
+            vec![(0, 1), (0, 2), (0, 3)],
+        )
+        .unwrap();
+        assert!(!is_valid_answer(&t, &q));
+    }
+
+    #[test]
+    fn interior_matcher_covers_keyword_without_assignment() {
+        // Chain 0(a) — 2(b, interior) — 1(a): leaves both match a… invalid
+        // (two leaves, one keyword a between them).
+        let q = query2(vec![(0, 0b01), (1, 0b01), (2, 0b10)]);
+        let t = Jtt::new(vec![NodeId(0), NodeId(2), NodeId(1)], vec![(0, 1), (1, 2)]).unwrap();
+        assert!(!is_valid_answer(&t, &q));
+        // But 0(a) — 2(b interior) — 3(b leaf): leaf 3 takes b, leaf 0
+        // takes a — valid.
+        let q2 = query2(vec![(0, 0b01), (3, 0b10), (2, 0b10)]);
+        let t2 = Jtt::new(vec![NodeId(0), NodeId(2), NodeId(3)], vec![(0, 1), (1, 2)]).unwrap();
+        assert!(is_valid_answer(&t2, &q2));
+    }
+}

@@ -1,0 +1,224 @@
+//! Theorem 1 (optimality of branch-and-bound), verified empirically:
+//! on random graphs and queries, `bnb_search` must return exactly the same
+//! top-k scores as the exhaustive naive search — with and without indexes.
+
+use ci_graph::{Graph, GraphBuilder, NodeId};
+use ci_index::{detect_star_relations, DistanceOracle, NaiveIndex, NoIndex, StarIndex};
+use ci_rwmp::{Dampening, Scorer};
+use ci_search::{bnb_search, naive_search, QuerySpec, SearchOptions};
+use proptest::prelude::*;
+
+/// A random connected graph description: node importance values plus extra
+/// edges on top of a random spanning tree.
+#[derive(Debug, Clone)]
+struct RandomCase {
+    importance: Vec<f64>,
+    spanning_choice: Vec<usize>,
+    extra_edges: Vec<(usize, usize)>,
+    weights: Vec<u8>,
+    matcher_sel: Vec<u8>,
+}
+
+fn random_case(n: usize) -> impl Strategy<Value = RandomCase> {
+    (
+        proptest::collection::vec(1u32..1000, n),
+        proptest::collection::vec(0usize..n, n),
+        proptest::collection::vec((0usize..n, 0usize..n), 0..n),
+        proptest::collection::vec(1u8..5, 4 * n),
+        proptest::collection::vec(0u8..4, n),
+    )
+        .prop_map(|(imp, span, extra, weights, matcher_sel)| RandomCase {
+            importance: imp.into_iter().map(|x| x as f64 / 1000.0).collect(),
+            spanning_choice: span,
+            extra_edges: extra,
+            weights,
+            matcher_sel,
+        })
+}
+
+fn build_graph(case: &RandomCase) -> Graph {
+    let n = case.importance.len();
+    let mut b = GraphBuilder::new();
+    let nodes: Vec<NodeId> = (0..n).map(|i| b.add_node((i % 2) as u16, vec![])).collect();
+    let mut wi = 0;
+    let w = |wi: &mut usize| {
+        let v = case.weights[*wi % case.weights.len()] as f64;
+        *wi += 1;
+        v
+    };
+    // Random spanning tree: node i connects to one of 0..i.
+    for i in 1..n {
+        let j = case.spanning_choice[i] % i;
+        b.add_pair(nodes[i], nodes[j], w(&mut wi), w(&mut wi));
+    }
+    let mut seen: Vec<(usize, usize)> = (1..n)
+        .map(|i| {
+            let j = case.spanning_choice[i] % i;
+            (i.min(j), i.max(j))
+        })
+        .collect();
+    for &(a, bn) in &case.extra_edges {
+        let (x, y) = (a.min(bn), a.max(bn));
+        if x == y || seen.contains(&(x, y)) {
+            continue;
+        }
+        seen.push((x, y));
+        b.add_pair(nodes[x], nodes[y], w(&mut wi), w(&mut wi));
+    }
+    b.build()
+}
+
+/// Assigns keyword masks: selector 1 → keyword a, 2 → keyword b, 3 → both.
+fn build_query(scorer: &Scorer<'_>, case: &RandomCase) -> Option<QuerySpec> {
+    let mut matches = Vec::new();
+    for (i, &sel) in case.matcher_sel.iter().enumerate() {
+        let mask = match sel {
+            1 => 0b01,
+            2 => 0b10,
+            3 => 0b11,
+            _ => continue,
+        };
+        matches.push((NodeId(i as u32), mask, 2 + (i as u32 % 3)));
+    }
+    if matches.is_empty() {
+        return None;
+    }
+    Some(QuerySpec::from_matches(
+        scorer,
+        vec!["a".into(), "b".into()],
+        matches,
+    ))
+}
+
+fn assert_equivalent(name: &str, left: &[ci_search::Answer], right: &[ci_search::Answer]) {
+    assert_eq!(
+        left.len(),
+        right.len(),
+        "{name}: answer counts differ ({} vs {})",
+        left.len(),
+        right.len()
+    );
+    for (i, (a, b)) in left.iter().zip(right).enumerate() {
+        assert!(
+            (a.score - b.score).abs() < 1e-9 * a.score.abs().max(1.0),
+            "{name}: rank {i} scores differ: {} vs {}",
+            a.score,
+            b.score
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Branch-and-bound equals the exhaustive oracle, with every oracle
+    /// implementation, on random 8-node graphs.
+    #[test]
+    fn bnb_matches_naive(case in random_case(8)) {
+        let graph = build_graph(&case);
+        let p = case.importance.clone();
+        let p_min = p.iter().cloned().fold(f64::INFINITY, f64::min);
+        let scorer = Scorer::new(&graph, &p, p_min, Dampening::paper_default());
+        let Some(query) = build_query(&scorer, &case) else { return Ok(()); };
+        if !query.answerable() { return Ok(()); }
+
+        let opts = SearchOptions {
+            diameter: 4,
+            k: 5,
+            max_tree_nodes: 8,
+            naive_max_paths: 100_000,
+            naive_max_combinations: 1_000_000,
+            ..Default::default()
+        };
+        let (oracle_answers, truncated) = naive_search(&scorer, &query, &opts);
+        prop_assert!(!truncated, "oracle must be exhaustive for the comparison");
+
+        let (plain, stats) = bnb_search(&scorer, &query, &NoIndex, &opts);
+        prop_assert!(!stats.truncated);
+        assert_equivalent("no-index", &oracle_answers, &plain);
+
+        let damp: Vec<f64> = graph.nodes().map(|v| scorer.dampening(v)).collect();
+        let naive_idx = NaiveIndex::build(&graph, &damp, opts.diameter);
+        let (indexed, _) = bnb_search(&scorer, &query, &naive_idx, &opts);
+        assert_equivalent("naive-index", &oracle_answers, &indexed);
+
+        let star_rels = detect_star_relations(&graph);
+        let star = StarIndex::build(&graph, &damp, opts.diameter, &star_rels).into_oracle(&graph);
+        let (starred, _) = bnb_search(&scorer, &query, &star, &opts);
+        assert_equivalent("star-index", &oracle_answers, &starred);
+    }
+
+    /// Three-keyword variant of the equivalence: masks span 1..=7, trees
+    /// grow wider (star shapes, merges of three subtrees).
+    #[test]
+    fn bnb_matches_naive_three_keywords(case in random_case(7)) {
+        let graph = build_graph(&case);
+        let p = case.importance.clone();
+        let p_min = p.iter().cloned().fold(f64::INFINITY, f64::min);
+        let scorer = Scorer::new(&graph, &p, p_min, Dampening::paper_default());
+        let mut matches = Vec::new();
+        for (i, &sel) in case.matcher_sel.iter().enumerate() {
+            let mask = (sel as u32 + 1) % 8; // 1..=7, 0 skipped below
+            if mask == 0 {
+                continue;
+            }
+            matches.push((NodeId(i as u32), mask, 2 + (i as u32 % 3)));
+        }
+        if matches.is_empty() { return Ok(()); }
+        let query = QuerySpec::from_matches(
+            &scorer,
+            vec!["a".into(), "b".into(), "c".into()],
+            matches,
+        );
+        if !query.answerable() { return Ok(()); }
+
+        let opts = SearchOptions {
+            diameter: 3,
+            k: 4,
+            max_tree_nodes: 7,
+            naive_max_paths: 100_000,
+            naive_max_combinations: 2_000_000,
+            ..Default::default()
+        };
+        let (oracle_answers, truncated) = naive_search(&scorer, &query, &opts);
+        prop_assert!(!truncated);
+        let (plain, stats) = bnb_search(&scorer, &query, &NoIndex, &opts);
+        prop_assert!(!stats.truncated);
+        assert_equivalent("three-kw", &oracle_answers, &plain);
+
+        let damp: Vec<f64> = graph.nodes().map(|v| scorer.dampening(v)).collect();
+        let star_rels = detect_star_relations(&graph);
+        let star = StarIndex::build(&graph, &damp, opts.diameter, &star_rels).into_oracle(&graph);
+        let (starred, _) = bnb_search(&scorer, &query, &star, &opts);
+        assert_equivalent("three-kw-star", &oracle_answers, &starred);
+    }
+
+    /// Index bounds are consistent with ground truth on random graphs:
+    /// star distance lower bounds never exceed naive exact distances and
+    /// star retention upper bounds never undercut naive retentions.
+    #[test]
+    fn star_bounds_sound(case in random_case(10)) {
+        let graph = build_graph(&case);
+        let p = case.importance.clone();
+        let p_min = p.iter().cloned().fold(f64::INFINITY, f64::min);
+        let scorer = Scorer::new(&graph, &p, p_min, Dampening::paper_default());
+        let damp: Vec<f64> = graph.nodes().map(|v| scorer.dampening(v)).collect();
+        let exact = NaiveIndex::build(&graph, &damp, 6);
+        let rels = detect_star_relations(&graph);
+        let star = StarIndex::build(&graph, &damp, 6, &rels).into_oracle(&graph);
+        for u in graph.nodes() {
+            for v in graph.nodes() {
+                // Bounds only need to hold for reachable pairs.
+                if let Some(true_d) = exact.distance(u, v) {
+                    prop_assert!(star.dist_lb(u, v) <= true_d,
+                        "dist_lb({u},{v}) = {} > {true_d}", star.dist_lb(u, v));
+                }
+                if u != v && exact.distance(u, v).is_some() {
+                    let true_r = exact.retention_ub(u, v);
+                    prop_assert!(star.retention_ub(u, v) >= true_r - 1e-12,
+                        "retention_ub({u},{v}) = {} < {true_r}", star.retention_ub(u, v));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,411 @@
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::StorageError;
+use crate::schema::{ColumnKind, TableSchema};
+use crate::tuple::{Tuple, TupleId, Value};
+use crate::Result;
+
+/// Identifies a table within a [`Database`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TableId(pub u16);
+
+/// Identifies a link set within a [`Database`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId(pub u16);
+
+/// Declaration of a link set: a named, directed connection kind between two
+/// tables. Stands in for a foreign-key relationship (1:n) or a relationship
+/// table (m:n). The *from → to* direction defines the "forward" edge
+/// direction when the database is mapped to the data graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkDef {
+    /// Unique name, e.g. `"movie_actor"` or `"cites"`.
+    pub name: String,
+    /// Source table.
+    pub from: TableId,
+    /// Target table (may equal `from`, e.g. paper citations).
+    pub to: TableId,
+}
+
+/// A link set: its definition plus the connected row pairs.
+#[derive(Debug, Clone)]
+pub struct LinkSet {
+    def: LinkDef,
+    pairs: Vec<(u32, u32)>,
+}
+
+impl LinkSet {
+    /// The link definition.
+    pub fn def(&self) -> &LinkDef {
+        &self.def
+    }
+
+    /// Connected row pairs, as `(from_row, to_row)`.
+    pub fn pairs(&self) -> &[(u32, u32)] {
+        &self.pairs
+    }
+
+    /// Number of links.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True if the link set holds no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+struct Table {
+    schema: TableSchema,
+    rows: Vec<Tuple>,
+}
+
+/// An in-memory relational database: tables of tuples plus link sets.
+///
+/// See the crate docs for an example.
+#[derive(Default)]
+pub struct Database {
+    tables: Vec<Table>,
+    table_names: HashMap<String, TableId>,
+    links: Vec<LinkSet>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Adds a table. Panics if a table with the same name exists; use
+    /// [`Database::try_add_table`] for a fallible variant.
+    pub fn add_table(&mut self, schema: TableSchema) -> TableId {
+        self.try_add_table(schema).expect("duplicate table name")
+    }
+
+    /// Adds a table, failing on duplicate names.
+    pub fn try_add_table(&mut self, schema: TableSchema) -> Result<TableId> {
+        if self.table_names.contains_key(schema.name()) {
+            return Err(StorageError::DuplicateTable(schema.name().to_string()));
+        }
+        let id = TableId(self.tables.len() as u16);
+        self.table_names.insert(schema.name().to_string(), id);
+        self.tables.push(Table {
+            schema,
+            rows: Vec::new(),
+        });
+        Ok(id)
+    }
+
+    /// Declares a link set between two tables.
+    pub fn add_link(
+        &mut self,
+        from: TableId,
+        to: TableId,
+        name: impl Into<String>,
+    ) -> Result<LinkId> {
+        self.table(from)?;
+        self.table(to)?;
+        let id = LinkId(self.links.len() as u16);
+        self.links.push(LinkSet {
+            def: LinkDef {
+                name: name.into(),
+                from,
+                to,
+            },
+            pairs: Vec::new(),
+        });
+        Ok(id)
+    }
+
+    /// Inserts a tuple, validating arity and column types.
+    pub fn insert(&mut self, table: TableId, values: Vec<Value>) -> Result<TupleId> {
+        let t = self
+            .tables
+            .get_mut(table.0 as usize)
+            .ok_or(StorageError::UnknownTable(table))?;
+        if values.len() != t.schema.arity() {
+            return Err(StorageError::ArityMismatch {
+                table,
+                expected: t.schema.arity(),
+                got: values.len(),
+            });
+        }
+        for (i, (v, c)) in values.iter().zip(t.schema.columns()).enumerate() {
+            let ok = matches!(
+                (v, c.kind),
+                (Value::Null, _)
+                    | (Value::Text(_), ColumnKind::Text)
+                    | (Value::Int(_), ColumnKind::Int)
+            );
+            if !ok {
+                return Err(StorageError::TypeMismatch { table, column: i });
+            }
+        }
+        let row = t.rows.len() as u32;
+        t.rows.push(Tuple::new(values));
+        Ok(TupleId::new(table, row))
+    }
+
+    /// Connects two tuples through a link set, validating that the endpoints
+    /// belong to the link's declared tables and exist.
+    pub fn link(&mut self, link: LinkId, from: TupleId, to: TupleId) -> Result<()> {
+        let def = self
+            .links
+            .get(link.0 as usize)
+            .ok_or(StorageError::UnknownLink(link))?
+            .def
+            .clone();
+        if from.table != def.from {
+            return Err(StorageError::LinkEndpointMismatch {
+                link,
+                expected: def.from,
+                got: from.table,
+            });
+        }
+        if to.table != def.to {
+            return Err(StorageError::LinkEndpointMismatch {
+                link,
+                expected: def.to,
+                got: to.table,
+            });
+        }
+        self.tuple(from)?;
+        self.tuple(to)?;
+        self.links[link.0 as usize].pairs.push((from.row, to.row));
+        Ok(())
+    }
+
+    /// Schema of a table.
+    pub fn schema(&self, table: TableId) -> Result<&TableSchema> {
+        self.table(table).map(|t| &t.schema)
+    }
+
+    /// Looks up a table id by name.
+    pub fn table_by_name(&self, name: &str) -> Option<TableId> {
+        self.table_names.get(name).copied()
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// All table ids, in creation order.
+    pub fn table_ids(&self) -> impl Iterator<Item = TableId> + '_ {
+        (0..self.tables.len()).map(|i| TableId(i as u16))
+    }
+
+    /// Number of rows in a table.
+    pub fn row_count(&self, table: TableId) -> Result<usize> {
+        self.table(table).map(|t| t.rows.len())
+    }
+
+    /// Total number of tuples across all tables.
+    pub fn tuple_count(&self) -> usize {
+        self.tables.iter().map(|t| t.rows.len()).sum()
+    }
+
+    /// Total number of links across all link sets.
+    pub fn link_count(&self) -> usize {
+        self.links.iter().map(|l| l.pairs.len()).sum()
+    }
+
+    /// Fetches a tuple.
+    pub fn tuple(&self, id: TupleId) -> Result<&Tuple> {
+        self.table(id.table)?
+            .rows
+            .get(id.row as usize)
+            .ok_or(StorageError::UnknownTuple(id))
+    }
+
+    /// Concatenated text of a tuple (see [`Tuple::text`]).
+    pub fn tuple_text(&self, id: TupleId) -> Result<String> {
+        self.tuple(id).map(|t| t.text())
+    }
+
+    /// Iterates all tuple ids of a table.
+    pub fn rows(&self, table: TableId) -> Result<impl Iterator<Item = TupleId> + '_> {
+        let n = self.row_count(table)?;
+        Ok((0..n as u32).map(move |row| TupleId::new(table, row)))
+    }
+
+    /// Iterates all tuple ids in the database.
+    pub fn all_tuples(&self) -> impl Iterator<Item = TupleId> + '_ {
+        self.tables.iter().enumerate().flat_map(|(ti, t)| {
+            (0..t.rows.len() as u32).map(move |row| TupleId::new(TableId(ti as u16), row))
+        })
+    }
+
+    /// All link sets.
+    pub fn link_sets(&self) -> &[LinkSet] {
+        &self.links
+    }
+
+    /// A link set by id.
+    pub fn link_set(&self, link: LinkId) -> Result<&LinkSet> {
+        self.links
+            .get(link.0 as usize)
+            .ok_or(StorageError::UnknownLink(link))
+    }
+
+    /// Looks up a link set by name.
+    pub fn link_by_name(&self, name: &str) -> Option<LinkId> {
+        self.links
+            .iter()
+            .position(|l| l.def.name == name)
+            .map(|i| LinkId(i as u16))
+    }
+
+    /// Checks referential integrity of every link set: endpoints must exist.
+    /// Inserts already enforce this; `validate` re-checks the invariant (used
+    /// after bulk construction, e.g. sampling).
+    pub fn validate(&self) -> Result<()> {
+        for (li, l) in self.links.iter().enumerate() {
+            let from_rows = self.row_count(l.def.from)? as u32;
+            let to_rows = self.row_count(l.def.to)? as u32;
+            for &(f, t) in &l.pairs {
+                if f >= from_rows {
+                    return Err(StorageError::UnknownTuple(TupleId::new(l.def.from, f)));
+                }
+                if t >= to_rows {
+                    return Err(StorageError::UnknownTuple(TupleId::new(l.def.to, t)));
+                }
+            }
+            debug_assert!(li < u16::MAX as usize);
+        }
+        Ok(())
+    }
+
+    fn table(&self, id: TableId) -> Result<&Table> {
+        self.tables
+            .get(id.0 as usize)
+            .ok_or(StorageError::UnknownTable(id))
+    }
+}
+
+impl fmt::Debug for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = f.debug_struct("Database");
+        for t in &self.tables {
+            s.field(t.schema.name(), &t.rows.len());
+        }
+        s.field("links", &self.link_count());
+        s.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_table_db() -> (Database, TableId, TableId, LinkId) {
+        let mut db = Database::new();
+        let a = db.add_table(TableSchema::new("author").text_column("name"));
+        let p = db.add_table(
+            TableSchema::new("paper")
+                .text_column("title")
+                .int_column("year"),
+        );
+        let l = db.add_link(a, p, "wrote").unwrap();
+        (db, a, p, l)
+    }
+
+    #[test]
+    fn insert_and_fetch_roundtrip() {
+        let (mut db, a, p, l) = two_table_db();
+        let ta = db.insert(a, vec![Value::text("Ada")]).unwrap();
+        let tp = db
+            .insert(p, vec![Value::text("On Computable Numbers"), Value::int(1936)])
+            .unwrap();
+        db.link(l, ta, tp).unwrap();
+
+        assert_eq!(db.tuple(ta).unwrap().text(), "Ada");
+        assert_eq!(db.tuple_text(tp).unwrap(), "On Computable Numbers");
+        assert_eq!(db.tuple_count(), 2);
+        assert_eq!(db.link_count(), 1);
+        assert!(db.validate().is_ok());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let (mut db, a, _, _) = two_table_db();
+        let err = db.insert(a, vec![]).unwrap_err();
+        assert!(matches!(err, StorageError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let (mut db, _, p, _) = two_table_db();
+        let err = db
+            .insert(p, vec![Value::int(5), Value::int(1999)])
+            .unwrap_err();
+        assert_eq!(err, StorageError::TypeMismatch { table: p, column: 0 });
+    }
+
+    #[test]
+    fn null_is_accepted_in_any_column() {
+        let (mut db, _, p, _) = two_table_db();
+        db.insert(p, vec![Value::Null, Value::Null]).unwrap();
+    }
+
+    #[test]
+    fn link_endpoint_table_checked() {
+        let (mut db, a, p, l) = two_table_db();
+        let ta = db.insert(a, vec![Value::text("Ada")]).unwrap();
+        let tp = db
+            .insert(p, vec![Value::text("X"), Value::int(2000)])
+            .unwrap();
+        let err = db.link(l, tp, ta).unwrap_err();
+        assert!(matches!(err, StorageError::LinkEndpointMismatch { .. }));
+    }
+
+    #[test]
+    fn link_to_missing_tuple_rejected() {
+        let (mut db, a, p, l) = two_table_db();
+        let ta = db.insert(a, vec![Value::text("Ada")]).unwrap();
+        let ghost = TupleId::new(p, 99);
+        assert!(db.link(l, ta, ghost).is_err());
+    }
+
+    #[test]
+    fn duplicate_table_name_rejected() {
+        let mut db = Database::new();
+        db.add_table(TableSchema::new("t"));
+        let err = db.try_add_table(TableSchema::new("t")).unwrap_err();
+        assert_eq!(err, StorageError::DuplicateTable("t".into()));
+    }
+
+    #[test]
+    fn lookups_by_name() {
+        let (db, a, _, l) = two_table_db();
+        assert_eq!(db.table_by_name("author"), Some(a));
+        assert_eq!(db.table_by_name("nope"), None);
+        assert_eq!(db.link_by_name("wrote"), Some(l));
+        assert_eq!(db.link_by_name("nope"), None);
+    }
+
+    #[test]
+    fn all_tuples_covers_every_table() {
+        let (mut db, a, p, _) = two_table_db();
+        db.insert(a, vec![Value::text("x")]).unwrap();
+        db.insert(a, vec![Value::text("y")]).unwrap();
+        db.insert(p, vec![Value::text("z"), Value::int(1)]).unwrap();
+        let all: Vec<_> = db.all_tuples().collect();
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[0].table, a);
+        assert_eq!(all[2].table, p);
+    }
+
+    #[test]
+    fn self_link_table_allowed() {
+        let mut db = Database::new();
+        let p = db.add_table(TableSchema::new("paper").text_column("title"));
+        let cites = db.add_link(p, p, "cites").unwrap();
+        let a = db.insert(p, vec![Value::text("A")]).unwrap();
+        let b = db.insert(p, vec![Value::text("B")]).unwrap();
+        db.link(cites, a, b).unwrap();
+        assert_eq!(db.link_set(cites).unwrap().pairs(), &[(0, 1)]);
+    }
+}

@@ -1,0 +1,97 @@
+use std::fmt;
+
+use crate::{LinkId, TableId, TupleId};
+
+/// Errors produced by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A table id did not refer to an existing table.
+    UnknownTable(TableId),
+    /// A link id did not refer to an existing link set.
+    UnknownLink(LinkId),
+    /// A tuple id referred to a row that does not exist.
+    UnknownTuple(TupleId),
+    /// An inserted tuple's arity did not match the table schema.
+    ArityMismatch {
+        table: TableId,
+        expected: usize,
+        got: usize,
+    },
+    /// An inserted value's type did not match the column definition.
+    TypeMismatch {
+        table: TableId,
+        column: usize,
+    },
+    /// A link endpoint belongs to the wrong table for its link set.
+    LinkEndpointMismatch {
+        link: LinkId,
+        expected: TableId,
+        got: TableId,
+    },
+    /// A table with the given name already exists.
+    DuplicateTable(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::UnknownTable(t) => write!(f, "unknown table id {}", t.0),
+            StorageError::UnknownLink(l) => write!(f, "unknown link id {}", l.0),
+            StorageError::UnknownTuple(t) => {
+                write!(f, "unknown tuple (table {}, row {})", t.table.0, t.row)
+            }
+            StorageError::ArityMismatch {
+                table,
+                expected,
+                got,
+            } => write!(
+                f,
+                "arity mismatch for table {}: expected {expected} values, got {got}",
+                table.0
+            ),
+            StorageError::TypeMismatch { table, column } => write!(
+                f,
+                "type mismatch for table {} column {column}",
+                table.0
+            ),
+            StorageError::LinkEndpointMismatch {
+                link,
+                expected,
+                got,
+            } => write!(
+                f,
+                "link {} endpoint belongs to table {} but link requires table {}",
+                link.0, got.0, expected.0
+            ),
+            StorageError::DuplicateTable(name) => {
+                write!(f, "a table named {name:?} already exists")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StorageError::ArityMismatch {
+            table: TableId(3),
+            expected: 2,
+            got: 5,
+        };
+        let s = e.to_string();
+        assert!(s.contains("table 3"));
+        assert!(s.contains("expected 2"));
+        assert!(s.contains("got 5"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(StorageError::UnknownTable(TableId(1)));
+        assert!(e.to_string().contains("unknown table"));
+    }
+}

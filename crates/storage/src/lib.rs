@@ -1,0 +1,42 @@
+//! Relational substrate for the CI-Rank reproduction.
+//!
+//! The paper models a database as a set of relations connected by
+//! primary-key/foreign-key relationships (Fig. 1 of the paper shows the DBLP
+//! and IMDB schemas). This crate provides that substrate: typed tables of
+//! tuples plus *link sets* — named collections of (tuple, tuple) connections
+//! that stand in for both 1:n foreign keys and m:n relationship tables.
+//!
+//! Modelling m:n relationships as direct links (rather than as join-table
+//! tuples) matches the paper's data graph, where e.g. two co-authors are one
+//! hop away from their shared paper node, not two.
+//!
+//! # Example
+//!
+//! ```
+//! use ci_storage::{Database, TableSchema, Value};
+//!
+//! let mut db = Database::new();
+//! let author = db.add_table(TableSchema::new("author").text_column("name"));
+//! let paper = db.add_table(TableSchema::new("paper").text_column("title"));
+//! let wrote = db.add_link(author, paper, "author_paper").unwrap();
+//!
+//! let a = db.insert(author, vec![Value::text("Jeffrey Ullman")]).unwrap();
+//! let p = db.insert(paper, vec![Value::text("Principles of Database Systems")]).unwrap();
+//! db.link(wrote, a, p).unwrap();
+//! assert_eq!(db.tuple_count(), 2);
+//! ```
+
+mod database;
+mod error;
+pub mod persist;
+mod schema;
+pub mod schemas;
+mod tuple;
+
+pub use database::{Database, LinkDef, LinkId, LinkSet, TableId};
+pub use error::StorageError;
+pub use schema::{ColumnDef, ColumnKind, TableSchema};
+pub use tuple::{Tuple, TupleId, Value};
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, StorageError>;

@@ -1,0 +1,321 @@
+//! Plain-text persistence for [`Database`].
+//!
+//! A release-quality reproduction needs a way to freeze and share the
+//! generated datasets (the paper's experiments are only comparable across
+//! runs if everyone searches the same data). The format is a line-oriented
+//! text file:
+//!
+//! ```text
+//! #table <name>
+//! #columns <name>:<text|int>[,<name>:<kind>…]
+//! <value>\t<value>…           (one row per line, escaped)
+//! #link <name> <from_table> <to_table>
+//! <from_row> <to_row>         (one pair per line)
+//! ```
+//!
+//! Text values escape `\`, tab, and newline; `\0` encodes NULL.
+
+use std::io::{self, BufRead, Write};
+
+use crate::database::{Database, TableId};
+use crate::schema::{ColumnKind, TableSchema};
+use crate::tuple::Value;
+
+/// Errors raised while loading a dump.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structural problem in the dump, with the offending line number.
+    Parse { line: usize, message: String },
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "i/o error: {e}"),
+            LoadError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadError::Io(e) => Some(e),
+            LoadError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for LoadError {
+    fn from(e: io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+/// Writes the database as a text dump.
+pub fn dump(db: &Database, out: &mut impl Write) -> io::Result<()> {
+    for table in db.table_ids() {
+        let schema = db.schema(table).expect("listed table exists");
+        writeln!(out, "#table {}", schema.name())?;
+        let cols: Vec<String> = schema
+            .columns()
+            .iter()
+            .map(|c| {
+                let kind = match c.kind {
+                    ColumnKind::Text => "text",
+                    ColumnKind::Int => "int",
+                };
+                format!("{}:{kind}", c.name)
+            })
+            .collect();
+        writeln!(out, "#columns {}", cols.join(","))?;
+        for row in db.rows(table).expect("listed table exists") {
+            let tuple = db.tuple(row).expect("listed row exists");
+            let cells: Vec<String> = tuple.values().iter().map(encode_value).collect();
+            writeln!(out, "{}", cells.join("\t"))?;
+        }
+    }
+    for set in db.link_sets() {
+        let def = set.def();
+        let from = db.schema(def.from).expect("link endpoints exist").name();
+        let to = db.schema(def.to).expect("link endpoints exist").name();
+        writeln!(out, "#link {} {from} {to}", def.name)?;
+        for &(f, t) in set.pairs() {
+            writeln!(out, "{f} {t}")?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a dump produced by [`dump`].
+pub fn load(input: &mut impl BufRead) -> Result<Database, LoadError> {
+    enum Section {
+        None,
+        Rows(TableId),
+        Pairs(crate::database::LinkId, TableId, TableId),
+    }
+    let mut db = Database::new();
+    let mut section = Section::None;
+    let mut pending_table: Option<String> = None;
+
+    for (no, line) in input.lines().enumerate() {
+        let line = line?;
+        let lineno = no + 1;
+        let err = |message: &str| LoadError::Parse { line: lineno, message: message.to_string() };
+        if let Some(name) = line.strip_prefix("#table ") {
+            pending_table = Some(name.to_string());
+            section = Section::None;
+        } else if let Some(cols) = line.strip_prefix("#columns ") {
+            let name = pending_table.take().ok_or_else(|| err("#columns without #table"))?;
+            let mut schema = TableSchema::new(name);
+            for col in cols.split(',').filter(|c| !c.is_empty()) {
+                let (cname, kind) = col
+                    .rsplit_once(':')
+                    .ok_or_else(|| err("column must be name:kind"))?;
+                schema = match kind {
+                    "text" => schema.text_column(cname),
+                    "int" => schema.int_column(cname),
+                    other => return Err(err(&format!("unknown column kind {other:?}"))),
+                };
+            }
+            let id = db
+                .try_add_table(schema)
+                .map_err(|e| err(&format!("bad table: {e}")))?;
+            section = Section::Rows(id);
+        } else if let Some(rest) = line.strip_prefix("#link ") {
+            let mut parts = rest.split(' ');
+            let (name, from, to) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(n), Some(f), Some(t)) => (n, f, t),
+                _ => return Err(err("#link needs <name> <from> <to>")),
+            };
+            let from = db
+                .table_by_name(from)
+                .ok_or_else(|| err(&format!("unknown table {from:?}")))?;
+            let to = db
+                .table_by_name(to)
+                .ok_or_else(|| err(&format!("unknown table {to:?}")))?;
+            let id = db
+                .add_link(from, to, name)
+                .map_err(|e| err(&format!("bad link: {e}")))?;
+            section = Section::Pairs(id, from, to);
+        } else if line.is_empty() {
+            continue;
+        } else {
+            match section {
+                Section::None => return Err(err("data before any section header")),
+                Section::Rows(table) => {
+                    let schema = db.schema(table).expect("section table exists");
+                    let kinds: Vec<ColumnKind> =
+                        schema.columns().iter().map(|c| c.kind).collect();
+                    let cells: Vec<&str> = line.split('\t').collect();
+                    if cells.len() != kinds.len() {
+                        return Err(err(&format!(
+                            "expected {} cells, got {}",
+                            kinds.len(),
+                            cells.len()
+                        )));
+                    }
+                    let values: Vec<Value> = cells
+                        .iter()
+                        .zip(&kinds)
+                        .map(|(cell, kind)| decode_value(cell, *kind))
+                        .collect::<Result<_, String>>()
+                        .map_err(|m| err(&m))?;
+                    db.insert(table, values).map_err(|e| err(&format!("bad row: {e}")))?;
+                }
+                Section::Pairs(link, from, to) => {
+                    let (f, t) = line
+                        .split_once(' ')
+                        .ok_or_else(|| err("pair must be <from_row> <to_row>"))?;
+                    let f: u32 = f.parse().map_err(|_| err("bad from row"))?;
+                    let t: u32 = t.parse().map_err(|_| err("bad to row"))?;
+                    db.link(
+                        link,
+                        crate::tuple::TupleId::new(from, f),
+                        crate::tuple::TupleId::new(to, t),
+                    )
+                    .map_err(|e| err(&format!("bad pair: {e}")))?;
+                }
+            }
+        }
+    }
+    Ok(db)
+}
+
+fn encode_value(v: &Value) -> String {
+    match v {
+        Value::Null => "\\0".to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Text(s) => s
+            .replace('\\', "\\\\")
+            .replace('\t', "\\t")
+            .replace('\n', "\\n"),
+    }
+}
+
+fn decode_value(cell: &str, kind: ColumnKind) -> Result<Value, String> {
+    if cell == "\\0" {
+        return Ok(Value::Null);
+    }
+    match kind {
+        ColumnKind::Int => cell
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| format!("bad int {cell:?}")),
+        ColumnKind::Text => {
+            let mut out = String::with_capacity(cell.len());
+            let mut chars = cell.chars();
+            while let Some(c) = chars.next() {
+                if c != '\\' {
+                    out.push(c);
+                    continue;
+                }
+                match chars.next() {
+                    Some('\\') => out.push('\\'),
+                    Some('t') => out.push('\t'),
+                    Some('n') => out.push('\n'),
+                    Some('0') => return Err("NULL marker inside text".into()),
+                    other => return Err(format!("bad escape \\{other:?}")),
+                }
+            }
+            Ok(Value::Text(out))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemas;
+
+    fn sample_db() -> Database {
+        let (mut db, t) = schemas::dblp();
+        let a = db.insert(t.author, vec![Value::text("ada\tcrane\nwith escapes\\")]).unwrap();
+        let b = db.insert(t.author, vec![Value::text("bo quill")]).unwrap();
+        let p = db
+            .insert(t.paper, vec![Value::text("joint work"), Value::Null])
+            .unwrap();
+        db.link(t.author_paper, a, p).unwrap();
+        db.link(t.author_paper, b, p).unwrap();
+        db
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let db = sample_db();
+        let mut buf = Vec::new();
+        dump(&db, &mut buf).unwrap();
+        let loaded = load(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.table_count(), db.table_count());
+        assert_eq!(loaded.tuple_count(), db.tuple_count());
+        assert_eq!(loaded.link_count(), db.link_count());
+        for t in db.table_ids() {
+            assert_eq!(
+                loaded.schema(t).unwrap().name(),
+                db.schema(t).unwrap().name()
+            );
+            for row in db.rows(t).unwrap() {
+                assert_eq!(loaded.tuple(row).unwrap(), db.tuple(row).unwrap());
+            }
+        }
+        assert!(loaded.validate().is_ok());
+    }
+
+    #[test]
+    fn escapes_survive() {
+        let db = sample_db();
+        let mut buf = Vec::new();
+        dump(&db, &mut buf).unwrap();
+        let loaded = load(&mut buf.as_slice()).unwrap();
+        let text = loaded
+            .tuple_text(crate::tuple::TupleId::new(crate::database::TableId(2), 0))
+            .unwrap();
+        assert!(text.contains("ada\tcrane\nwith escapes\\"));
+    }
+
+    #[test]
+    fn load_rejects_malformed_input() {
+        let cases: &[(&str, &str)] = &[
+            ("data before any section", "hello world"),
+            ("#columns without #table", "#columns a:text"),
+            ("unknown kind", "#table t\n#columns a:blob"),
+            ("cell count", "#table t\n#columns a:text,b:int\nonly_one_cell"),
+            ("unknown link table", "#link l ghost ghost2"),
+            ("bad pair", "#table t\n#columns a:text\nx\n#link l t t\nnot_numbers"),
+        ];
+        for (what, input) in cases {
+            let res = load(&mut input.as_bytes());
+            assert!(res.is_err(), "{what} should fail");
+            let msg = res.unwrap_err().to_string();
+            assert!(msg.contains("line"), "{what}: error names the line ({msg})");
+        }
+    }
+
+    #[test]
+    fn empty_dump_roundtrip() {
+        let db = Database::new();
+        let mut buf = Vec::new();
+        dump(&db, &mut buf).unwrap();
+        let loaded = load(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.tuple_count(), 0);
+        assert_eq!(loaded.table_count(), 0);
+    }
+
+    #[test]
+    fn null_and_int_cells() {
+        let mut db = Database::new();
+        let t = db.add_table(TableSchema::new("t").int_column("n").text_column("s"));
+        db.insert(t, vec![Value::int(-42), Value::Null]).unwrap();
+        db.insert(t, vec![Value::Null, Value::text("x")]).unwrap();
+        let mut buf = Vec::new();
+        dump(&db, &mut buf).unwrap();
+        let loaded = load(&mut buf.as_slice()).unwrap();
+        let r0 = loaded.tuple(crate::tuple::TupleId::new(t, 0)).unwrap();
+        assert_eq!(r0.value(0), Some(&Value::Int(-42)));
+        assert!(r0.value(1).unwrap().is_null());
+        let r1 = loaded.tuple(crate::tuple::TupleId::new(t, 1)).unwrap();
+        assert!(r1.value(0).unwrap().is_null());
+    }
+}

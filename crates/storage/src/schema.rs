@@ -1,0 +1,91 @@
+/// The type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColumnKind {
+    /// Free text; participates in keyword matching.
+    Text,
+    /// Integer payload; ignored by keyword matching.
+    Int,
+}
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name, unique within the table.
+    pub name: String,
+    /// Column type.
+    pub kind: ColumnKind,
+}
+
+/// Schema of a table: a name plus an ordered list of columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    name: String,
+    columns: Vec<ColumnDef>,
+}
+
+impl TableSchema {
+    /// Creates an empty schema with the given table name.
+    pub fn new(name: impl Into<String>) -> Self {
+        TableSchema {
+            name: name.into(),
+            columns: Vec::new(),
+        }
+    }
+
+    /// Appends a text column (builder style).
+    pub fn text_column(mut self, name: impl Into<String>) -> Self {
+        self.columns.push(ColumnDef {
+            name: name.into(),
+            kind: ColumnKind::Text,
+        });
+        self
+    }
+
+    /// Appends an integer column (builder style).
+    pub fn int_column(mut self, name: impl Into<String>) -> Self {
+        self.columns.push(ColumnDef {
+            name: name.into(),
+            kind: ColumnKind::Int,
+        });
+        self
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Ordered column definitions.
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Index of the column with the given name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_orders_columns() {
+        let s = TableSchema::new("paper")
+            .text_column("title")
+            .int_column("year")
+            .text_column("venue");
+        assert_eq!(s.name(), "paper");
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.columns()[0].kind, ColumnKind::Text);
+        assert_eq!(s.columns()[1].kind, ColumnKind::Int);
+        assert_eq!(s.column_index("year"), Some(1));
+        assert_eq!(s.column_index("missing"), None);
+    }
+}

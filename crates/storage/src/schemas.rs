@@ -1,0 +1,164 @@
+//! The paper's two evaluation schemas (Fig. 1): DBLP and IMDB.
+//!
+//! Each constructor returns an empty [`Database`] shaped like the paper's
+//! schema, plus a handle struct with the table and link ids so that callers
+//! (notably `ci-datagen`) can populate it without string lookups.
+
+use crate::{Database, LinkId, TableId, TableSchema};
+
+/// Handles into a DBLP-shaped database (Fig. 1(a) of the paper).
+#[derive(Debug, Clone, Copy)]
+pub struct DblpTables {
+    /// `conference(name)` — 1:n with papers.
+    pub conference: TableId,
+    /// `paper(title, year)`.
+    pub paper: TableId,
+    /// `author(name)` — m:n with papers.
+    pub author: TableId,
+    /// Paper → conference link (`"paper_conference"`).
+    pub paper_conference: LinkId,
+    /// Author → paper link (`"author_paper"`).
+    pub author_paper: LinkId,
+    /// Citing paper → cited paper link (`"cites"`).
+    pub cites: LinkId,
+}
+
+/// Creates an empty DBLP-shaped database.
+pub fn dblp() -> (Database, DblpTables) {
+    let mut db = Database::new();
+    let conference = db.add_table(TableSchema::new("conference").text_column("name"));
+    let paper = db.add_table(
+        TableSchema::new("paper")
+            .text_column("title")
+            .int_column("year"),
+    );
+    let author = db.add_table(TableSchema::new("author").text_column("name"));
+    let paper_conference = db
+        .add_link(paper, conference, "paper_conference")
+        .expect("fresh db");
+    let author_paper = db.add_link(author, paper, "author_paper").expect("fresh db");
+    let cites = db.add_link(paper, paper, "cites").expect("fresh db");
+    (
+        db,
+        DblpTables {
+            conference,
+            paper,
+            author,
+            paper_conference,
+            author_paper,
+            cites,
+        },
+    )
+}
+
+/// Handles into an IMDB-shaped database (Fig. 1(b) of the paper).
+#[derive(Debug, Clone, Copy)]
+pub struct ImdbTables {
+    /// `movie(title, year)` — the star table.
+    pub movie: TableId,
+    /// `actor(name)`.
+    pub actor: TableId,
+    /// `actress(name)`.
+    pub actress: TableId,
+    /// `director(name)`.
+    pub director: TableId,
+    /// `producer(name)`.
+    pub producer: TableId,
+    /// `company(name)`.
+    pub company: TableId,
+    /// Actor → movie (`"actor_movie"`).
+    pub actor_movie: LinkId,
+    /// Actress → movie (`"actress_movie"`).
+    pub actress_movie: LinkId,
+    /// Director → movie (`"director_movie"`).
+    pub director_movie: LinkId,
+    /// Producer → movie (`"producer_movie"`).
+    pub producer_movie: LinkId,
+    /// Company → movie (`"company_movie"`).
+    pub company_movie: LinkId,
+}
+
+/// Creates an empty IMDB-shaped database.
+pub fn imdb() -> (Database, ImdbTables) {
+    let mut db = Database::new();
+    let movie = db.add_table(
+        TableSchema::new("movie")
+            .text_column("title")
+            .int_column("year"),
+    );
+    let actor = db.add_table(TableSchema::new("actor").text_column("name"));
+    let actress = db.add_table(TableSchema::new("actress").text_column("name"));
+    let director = db.add_table(TableSchema::new("director").text_column("name"));
+    let producer = db.add_table(TableSchema::new("producer").text_column("name"));
+    let company = db.add_table(TableSchema::new("company").text_column("name"));
+    let actor_movie = db.add_link(actor, movie, "actor_movie").expect("fresh db");
+    let actress_movie = db
+        .add_link(actress, movie, "actress_movie")
+        .expect("fresh db");
+    let director_movie = db
+        .add_link(director, movie, "director_movie")
+        .expect("fresh db");
+    let producer_movie = db
+        .add_link(producer, movie, "producer_movie")
+        .expect("fresh db");
+    let company_movie = db
+        .add_link(company, movie, "company_movie")
+        .expect("fresh db");
+    (
+        db,
+        ImdbTables {
+            movie,
+            actor,
+            actress,
+            director,
+            producer,
+            company,
+            actor_movie,
+            actress_movie,
+            director_movie,
+            producer_movie,
+            company_movie,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Value;
+
+    #[test]
+    fn dblp_schema_matches_paper() {
+        let (db, t) = dblp();
+        assert_eq!(db.table_count(), 3);
+        assert_eq!(db.schema(t.paper).unwrap().name(), "paper");
+        assert_eq!(db.link_sets().len(), 3);
+        assert_eq!(db.link_set(t.cites).unwrap().def().from, t.paper);
+        assert_eq!(db.link_set(t.cites).unwrap().def().to, t.paper);
+    }
+
+    #[test]
+    fn imdb_schema_matches_paper() {
+        let (db, t) = imdb();
+        assert_eq!(db.table_count(), 6);
+        assert_eq!(db.link_sets().len(), 5);
+        // Every link points at the movie star table.
+        for l in db.link_sets() {
+            assert_eq!(l.def().to, t.movie);
+        }
+    }
+
+    #[test]
+    fn populated_dblp_roundtrip() {
+        let (mut db, t) = dblp();
+        let icde = db.insert(t.conference, vec![Value::text("ICDE")]).unwrap();
+        let p = db
+            .insert(t.paper, vec![Value::text("CI-Rank"), Value::int(2012)])
+            .unwrap();
+        let a = db.insert(t.author, vec![Value::text("Xiaohui Yu")]).unwrap();
+        db.link(t.paper_conference, p, icde).unwrap();
+        db.link(t.author_paper, a, p).unwrap();
+        assert!(db.validate().is_ok());
+        assert_eq!(db.tuple_count(), 3);
+    }
+}

@@ -1,0 +1,159 @@
+use std::fmt;
+
+use crate::database::TableId;
+
+/// Identifies a tuple (row) within a [`crate::Database`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TupleId {
+    /// Table the tuple lives in.
+    pub table: TableId,
+    /// Zero-based row index within the table.
+    pub row: u32,
+}
+
+impl TupleId {
+    /// Creates a tuple id from a table id and row index.
+    pub fn new(table: TableId, row: u32) -> Self {
+        TupleId { table, row }
+    }
+}
+
+impl fmt::Display for TupleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}r{}", self.table.0, self.row)
+    }
+}
+
+/// A single attribute value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Free text (searchable).
+    Text(String),
+    /// Integer payload (years, counts, ...). Not searchable.
+    Int(i64),
+    /// SQL-style NULL.
+    Null,
+}
+
+impl Value {
+    /// Convenience constructor for a text value.
+    pub fn text(s: impl Into<String>) -> Self {
+        Value::Text(s.into())
+    }
+
+    /// Convenience constructor for an integer value.
+    pub fn int(v: i64) -> Self {
+        Value::Int(v)
+    }
+
+    /// Returns the contained text, if this is a text value.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained integer, if this is an integer value.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// True if the value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Text(s) => f.write_str(s),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Null => f.write_str("NULL"),
+        }
+    }
+}
+
+/// A row: one value per column of the owning table's schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tuple {
+    values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Wraps a value vector as a tuple. The [`crate::Database`] validates the
+    /// arity and types against the table schema on insert.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple { values }
+    }
+
+    /// The tuple's values, in schema column order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Value at `column`, if present.
+    pub fn value(&self, column: usize) -> Option<&Value> {
+        self.values.get(column)
+    }
+
+    /// Concatenation of all text attributes, separated by single spaces.
+    ///
+    /// This is the "text of a node" used by keyword matching: the paper's
+    /// `|v_i|` (word count of node `v_i`) is computed over this string.
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for v in &self.values {
+            if let Value::Text(s) = v {
+                if !out.is_empty() {
+                    out.push(' ');
+                }
+                out.push_str(s);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_concatenates_only_text_columns() {
+        let t = Tuple::new(vec![
+            Value::text("Braveheart"),
+            Value::int(1995),
+            Value::Null,
+            Value::text("Paramount"),
+        ]);
+        assert_eq!(t.text(), "Braveheart Paramount");
+    }
+
+    #[test]
+    fn text_of_empty_tuple_is_empty() {
+        assert_eq!(Tuple::new(vec![]).text(), "");
+        assert_eq!(Tuple::new(vec![Value::int(7)]).text(), "");
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::text("x").as_text(), Some("x"));
+        assert_eq!(Value::int(3).as_int(), Some(3));
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::int(3).as_text(), None);
+        assert_eq!(Value::text("x").as_int(), None);
+    }
+
+    #[test]
+    fn tuple_id_ordering_and_display() {
+        let a = TupleId::new(TableId(0), 5);
+        let b = TupleId::new(TableId(1), 0);
+        assert!(a < b);
+        assert_eq!(a.to_string(), "t0r5");
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests for the storage layer.
+
+use ci_storage::{persist, Database, TableSchema, TupleId, Value};
+use proptest::prelude::*;
+
+proptest! {
+    /// Inserted tuples round-trip exactly, ids are dense per table, and
+    /// validate() passes after arbitrary well-formed construction.
+    #[test]
+    fn insert_roundtrip(
+        texts in proptest::collection::vec("\\PC{0,20}", 1..20),
+        links in proptest::collection::vec((0usize..20, 0usize..20), 0..30),
+    ) {
+        let mut db = Database::new();
+        let t = db.add_table(TableSchema::new("t").text_column("x").int_column("n"));
+        let l = db.add_link(t, t, "self").unwrap();
+        let mut ids = Vec::new();
+        for (i, s) in texts.iter().enumerate() {
+            let id = db.insert(t, vec![Value::text(s.clone()), Value::int(i as i64)]).unwrap();
+            prop_assert_eq!(id.row as usize, i, "row ids are dense");
+            ids.push(id);
+        }
+        for &(a, b) in &links {
+            if a < ids.len() && b < ids.len() {
+                db.link(l, ids[a], ids[b]).unwrap();
+            }
+        }
+        prop_assert!(db.validate().is_ok());
+        for (i, s) in texts.iter().enumerate() {
+            let tup = db.tuple(ids[i]).unwrap();
+            prop_assert_eq!(tup.value(0).unwrap().as_text().unwrap(), s.as_str());
+            prop_assert_eq!(tup.value(1).unwrap().as_int().unwrap(), i as i64);
+        }
+        prop_assert_eq!(db.tuple_count(), texts.len());
+        let expected_links = links
+            .iter()
+            .filter(|&&(a, b)| a < texts.len() && b < texts.len())
+            .count();
+        prop_assert_eq!(db.link_count(), expected_links);
+    }
+
+    /// Dump → load round-trips arbitrary text (escapes included), links,
+    /// and NULLs.
+    #[test]
+    fn persist_roundtrip(
+        texts in proptest::collection::vec("\\PC{0,24}", 1..15),
+        links in proptest::collection::vec((0usize..15, 0usize..15), 0..20),
+        nulls in proptest::collection::vec(proptest::bool::ANY, 15),
+    ) {
+        let mut db = Database::new();
+        let t = db.add_table(TableSchema::new("t").text_column("x").int_column("n"));
+        let l = db.add_link(t, t, "self").unwrap();
+        let mut ids = Vec::new();
+        for (i, s) in texts.iter().enumerate() {
+            let n = if nulls[i % nulls.len()] { Value::Null } else { Value::int(i as i64) };
+            ids.push(db.insert(t, vec![Value::text(s.clone()), n]).unwrap());
+        }
+        for &(a, b) in &links {
+            if a < ids.len() && b < ids.len() {
+                db.link(l, ids[a], ids[b]).unwrap();
+            }
+        }
+        let mut buf = Vec::new();
+        persist::dump(&db, &mut buf).unwrap();
+        let loaded = persist::load(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(loaded.tuple_count(), db.tuple_count());
+        prop_assert_eq!(loaded.link_count(), db.link_count());
+        for &id in &ids {
+            prop_assert_eq!(loaded.tuple(id).unwrap(), db.tuple(id).unwrap());
+        }
+        prop_assert_eq!(
+            loaded.link_set(l).unwrap().pairs(),
+            db.link_set(l).unwrap().pairs()
+        );
+    }
+
+    /// `all_tuples` enumerates exactly the inserted ids, grouped by table.
+    #[test]
+    fn all_tuples_enumeration(
+        counts in proptest::collection::vec(0usize..10, 1..5),
+    ) {
+        let mut db = Database::new();
+        let tables: Vec<_> = counts
+            .iter()
+            .enumerate()
+            .map(|(i, _)| db.add_table(TableSchema::new(format!("t{i}")).text_column("x")))
+            .collect();
+        for (ti, &n) in counts.iter().enumerate() {
+            for r in 0..n {
+                db.insert(tables[ti], vec![Value::text(format!("{ti}:{r}"))]).unwrap();
+            }
+        }
+        let all: Vec<TupleId> = db.all_tuples().collect();
+        prop_assert_eq!(all.len(), counts.iter().sum::<usize>());
+        // Dense and ordered within each table.
+        for (ti, &n) in counts.iter().enumerate() {
+            let rows: Vec<u32> = all
+                .iter()
+                .filter(|id| id.table == tables[ti])
+                .map(|id| id.row)
+                .collect();
+            prop_assert_eq!(rows, (0..n as u32).collect::<Vec<_>>());
+        }
+    }
+}

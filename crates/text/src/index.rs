@@ -1,0 +1,314 @@
+use std::collections::HashMap;
+
+use crate::tokenize;
+
+/// Dense identifier for an indexed term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(pub u32);
+
+/// One posting: a document containing a term, with its term frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Posting {
+    /// Caller-assigned document id (graph node id in the full system).
+    pub doc: u32,
+    /// Number of occurrences of the term in the document (`tf_k(v)`).
+    pub tf: u32,
+}
+
+/// Aggregate statistics for one relation (table), used by the IR baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RelationStats {
+    /// Number of documents tagged with this relation (`N_Rel(v)`).
+    pub n_docs: u64,
+    /// Total token count across those documents.
+    pub total_len: u64,
+}
+
+impl RelationStats {
+    /// Average document length (`avdl`). 0 for an empty relation.
+    pub fn avdl(&self) -> f64 {
+        if self.n_docs == 0 {
+            0.0
+        } else {
+            self.total_len as f64 / self.n_docs as f64
+        }
+    }
+}
+
+/// Builder for [`InvertedIndex`]. Add every document, then call
+/// [`IndexBuilder::build`].
+#[derive(Default)]
+pub struct IndexBuilder {
+    terms: HashMap<String, TermId>,
+    term_names: Vec<String>,
+    postings: Vec<Vec<Posting>>,
+    // Per term: relation -> document frequency.
+    rel_df: Vec<HashMap<u16, u32>>,
+    doc_len: HashMap<u32, u32>,
+    doc_relation: HashMap<u32, u16>,
+    relation_stats: Vec<RelationStats>,
+}
+
+impl IndexBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        IndexBuilder::default()
+    }
+
+    /// Indexes a document. `doc` ids must be unique; re-adding a doc id is a
+    /// logic error the builder reports by panicking in debug builds.
+    pub fn add_doc(&mut self, doc: u32, relation: u16, text: &str) {
+        debug_assert!(
+            !self.doc_len.contains_key(&doc),
+            "document {doc} indexed twice"
+        );
+        let tokens = tokenize(text);
+        self.doc_len.insert(doc, tokens.len() as u32);
+        self.doc_relation.insert(doc, relation);
+        let stats_idx = relation as usize;
+        if self.relation_stats.len() <= stats_idx {
+            self.relation_stats
+                .resize(stats_idx + 1, RelationStats::default());
+        }
+        self.relation_stats[stats_idx].n_docs += 1;
+        self.relation_stats[stats_idx].total_len += tokens.len() as u64;
+
+        let mut counts: HashMap<&str, u32> = HashMap::new();
+        for t in &tokens {
+            *counts.entry(t.as_str()).or_insert(0) += 1;
+        }
+        for (tok, tf) in counts {
+            let next_id = TermId(self.term_names.len() as u32);
+            let id = *self.terms.entry(tok.to_string()).or_insert(next_id);
+            if id == next_id && self.term_names.len() == next_id.0 as usize {
+                self.term_names.push(tok.to_string());
+                self.postings.push(Vec::new());
+                self.rel_df.push(HashMap::new());
+            }
+            self.postings[id.0 as usize].push(Posting { doc, tf });
+            *self.rel_df[id.0 as usize].entry(relation).or_insert(0) += 1;
+        }
+    }
+
+    /// Finalizes the index. Postings are sorted by document id so term
+    /// frequencies can be found by binary search.
+    pub fn build(mut self) -> InvertedIndex {
+        for p in &mut self.postings {
+            p.sort_unstable_by_key(|p| p.doc);
+        }
+        InvertedIndex {
+            terms: self.terms,
+            postings: self.postings,
+            rel_df: self.rel_df,
+            doc_len: self.doc_len,
+            doc_relation: self.doc_relation,
+            relation_stats: self.relation_stats,
+        }
+    }
+}
+
+/// An inverted index over documents with per-relation IR statistics.
+pub struct InvertedIndex {
+    terms: HashMap<String, TermId>,
+    postings: Vec<Vec<Posting>>,
+    rel_df: Vec<HashMap<u16, u32>>,
+    doc_len: HashMap<u32, u32>,
+    doc_relation: HashMap<u32, u16>,
+    relation_stats: Vec<RelationStats>,
+}
+
+impl InvertedIndex {
+    /// Resolves a keyword (tokenized form) to its term id.
+    pub fn term(&self, keyword: &str) -> Option<TermId> {
+        let toks = tokenize(keyword);
+        let tok = toks.first()?;
+        self.terms.get(tok.as_str()).copied()
+    }
+
+    /// Postings for a term, sorted by document id. Empty slice for unknown
+    /// keywords.
+    pub fn postings(&self, keyword: &str) -> &[Posting] {
+        match self.term(keyword) {
+            Some(t) => &self.postings[t.0 as usize],
+            None => &[],
+        }
+    }
+
+    /// Documents containing the keyword — the paper's non-free node set
+    /// `En(k)`.
+    pub fn matching_docs(&self, keyword: &str) -> impl Iterator<Item = u32> + '_ {
+        self.postings(keyword).iter().map(|p| p.doc)
+    }
+
+    /// Term frequency `tf_k(v)` of `keyword` in `doc`.
+    pub fn tf(&self, keyword: &str, doc: u32) -> u32 {
+        let posts = self.postings(keyword);
+        match posts.binary_search_by_key(&doc, |p| p.doc) {
+            Ok(i) => posts[i].tf,
+            Err(_) => 0,
+        }
+    }
+
+    /// Document frequency of `keyword` within one relation
+    /// (`df_k(Rel(v))` in the DISCOVER2 formula).
+    pub fn df_in_relation(&self, keyword: &str, relation: u16) -> u32 {
+        self.term(keyword)
+            .and_then(|t| self.rel_df[t.0 as usize].get(&relation).copied())
+            .unwrap_or(0)
+    }
+
+    /// Total document frequency of `keyword` across all relations.
+    pub fn df(&self, keyword: &str) -> u32 {
+        self.term(keyword)
+            .map(|t| self.rel_df[t.0 as usize].values().sum())
+            .unwrap_or(0)
+    }
+
+    /// Token count of a document — the paper's `|v_i|` / `dl_v`.
+    pub fn doc_len(&self, doc: u32) -> u32 {
+        self.doc_len.get(&doc).copied().unwrap_or(0)
+    }
+
+    /// Relation tag of a document.
+    pub fn doc_relation(&self, doc: u32) -> Option<u16> {
+        self.doc_relation.get(&doc).copied()
+    }
+
+    /// Statistics for one relation.
+    pub fn relation_stats(&self, relation: u16) -> RelationStats {
+        self.relation_stats
+            .get(relation as usize)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Number of distinct query keywords present in `doc` — the paper's
+    /// `|v_i ∩ Q|`. Duplicate keywords in the query are counted once.
+    pub fn match_count(&self, doc: u32, query_keywords: &[String]) -> u32 {
+        let mut seen: Vec<&str> = Vec::with_capacity(query_keywords.len());
+        let mut n = 0;
+        for kw in query_keywords {
+            if seen.contains(&kw.as_str()) {
+                continue;
+            }
+            seen.push(kw.as_str());
+            if self.tf(kw, doc) > 0 {
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Number of indexed documents.
+    pub fn doc_count(&self) -> usize {
+        self.doc_len.len()
+    }
+
+    /// Number of distinct terms.
+    pub fn term_count(&self) -> usize {
+        self.postings.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> InvertedIndex {
+        let mut b = IndexBuilder::new();
+        b.add_doc(0, 0, "Yannis Papakonstantinou");
+        b.add_doc(1, 0, "Jeffrey Ullman");
+        b.add_doc(2, 1, "The TSIMMIS Project: Integration of Heterogeneous Information Sources");
+        b.add_doc(3, 1, "Capability Based Mediation in TSIMMIS");
+        b.add_doc(4, 1, "tsimmis tsimmis tsimmis");
+        b.build()
+    }
+
+    #[test]
+    fn postings_sorted_and_matching() {
+        let idx = sample();
+        let docs: Vec<u32> = idx.matching_docs("TSIMMIS").collect();
+        assert_eq!(docs, vec![2, 3, 4]);
+        assert!(idx.matching_docs("nonexistent").next().is_none());
+    }
+
+    #[test]
+    fn tf_counts_occurrences() {
+        let idx = sample();
+        assert_eq!(idx.tf("tsimmis", 4), 3);
+        assert_eq!(idx.tf("tsimmis", 2), 1);
+        assert_eq!(idx.tf("tsimmis", 0), 0);
+    }
+
+    #[test]
+    fn df_per_relation() {
+        let idx = sample();
+        assert_eq!(idx.df_in_relation("tsimmis", 1), 3);
+        assert_eq!(idx.df_in_relation("tsimmis", 0), 0);
+        assert_eq!(idx.df("tsimmis"), 3);
+        assert_eq!(idx.df_in_relation("ullman", 0), 1);
+    }
+
+    #[test]
+    fn doc_len_counts_tokens() {
+        let idx = sample();
+        assert_eq!(idx.doc_len(0), 2);
+        assert_eq!(idx.doc_len(2), 8);
+        assert_eq!(idx.doc_len(99), 0);
+    }
+
+    #[test]
+    fn relation_stats_aggregate() {
+        let idx = sample();
+        let s0 = idx.relation_stats(0);
+        assert_eq!(s0.n_docs, 2);
+        assert_eq!(s0.total_len, 4);
+        assert!((s0.avdl() - 2.0).abs() < 1e-12);
+        let s1 = idx.relation_stats(1);
+        assert_eq!(s1.n_docs, 3);
+        assert_eq!(idx.relation_stats(9).n_docs, 0);
+        assert_eq!(idx.relation_stats(9).avdl(), 0.0);
+    }
+
+    #[test]
+    fn match_count_distinct_keywords() {
+        let idx = sample();
+        let q = vec!["tsimmis".to_string(), "project".to_string()];
+        assert_eq!(idx.match_count(2, &q), 2);
+        assert_eq!(idx.match_count(3, &q), 1);
+        assert_eq!(idx.match_count(0, &q), 0);
+        // Duplicate keywords counted once.
+        let q2 = vec!["tsimmis".to_string(), "tsimmis".to_string()];
+        assert_eq!(idx.match_count(4, &q2), 1);
+    }
+
+    #[test]
+    fn keyword_lookup_is_case_insensitive() {
+        let idx = sample();
+        assert_eq!(idx.tf("ULLMAN", 1), 1);
+        assert_eq!(idx.postings("Ullman").len(), 1);
+    }
+
+    #[test]
+    fn doc_relation_lookup() {
+        let idx = sample();
+        assert_eq!(idx.doc_relation(0), Some(0));
+        assert_eq!(idx.doc_relation(2), Some(1));
+        assert_eq!(idx.doc_relation(42), None);
+    }
+
+    #[test]
+    fn counts() {
+        let idx = sample();
+        assert_eq!(idx.doc_count(), 5);
+        assert!(idx.term_count() >= 10);
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = IndexBuilder::new().build();
+        assert_eq!(idx.doc_count(), 0);
+        assert_eq!(idx.df("x"), 0);
+        assert!(idx.postings("x").is_empty());
+    }
+}

@@ -1,0 +1,22 @@
+//! Tokenization, inverted indexing, and IR statistics.
+//!
+//! The paper indexes the database text with Apache Lucene; this crate is the
+//! in-house equivalent. It serves three consumers:
+//!
+//! * **keyword matching** — finding the *non-free* nodes `En(k)` of each
+//!   query keyword `k` (Definition 2 of the paper);
+//! * **RWMP message generation** — the per-node word count `|v_i|` and query
+//!   match count `|v_i ∩ Q|` of §III-C.1;
+//! * **IR-style baselines** — per-relation statistics (document counts,
+//!   document frequencies, average document lengths) needed by the
+//!   DISCOVER2 and SPARK scoring functions of §II-B.
+//!
+//! Documents are identified by a dense `u32` id chosen by the caller (in the
+//! full system this is the data-graph node id) and carry a `relation` tag
+//! (the table the underlying tuple belongs to).
+
+mod index;
+mod tokenize;
+
+pub use index::{IndexBuilder, InvertedIndex, Posting, RelationStats, TermId};
+pub use tokenize::tokenize;

@@ -1,0 +1,74 @@
+/// Splits text into lowercase alphanumeric tokens.
+///
+/// Any run of ASCII alphanumerics (plus non-ASCII alphabetics) forms a token;
+/// everything else is a separator. Matching is exact-token, mirroring the
+/// paper's keyword semantics (a keyword matches a node iff the node's text
+/// contains that word).
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            for lc in ch.to_lowercase() {
+                cur.push(lc);
+            }
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_punctuation_and_whitespace() {
+        assert_eq!(
+            tokenize("The TSIMMIS Project: Integration of Heterogeneous Information Sources"),
+            vec![
+                "the",
+                "tsimmis",
+                "project",
+                "integration",
+                "of",
+                "heterogeneous",
+                "information",
+                "sources"
+            ]
+        );
+    }
+
+    #[test]
+    fn lowercases() {
+        assert_eq!(tokenize("Papakonstantinou ULLMAN"), vec!["papakonstantinou", "ullman"]);
+    }
+
+    #[test]
+    fn digits_kept_with_letters_separated_by_punctuation() {
+        assert_eq!(tokenize("Braveheart (1995)"), vec!["braveheart", "1995"]);
+    }
+
+    #[test]
+    fn empty_and_separator_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("  --- ...").is_empty());
+    }
+
+    #[test]
+    fn apostrophes_split() {
+        assert_eq!(
+            tokenize("Charlie Wilson's War"),
+            vec!["charlie", "wilson", "s", "war"]
+        );
+    }
+
+    #[test]
+    fn unicode_lowercase() {
+        assert_eq!(tokenize("Penélope CRUZ"), vec!["penélope", "cruz"]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for tokenization and the inverted index.
+
+use ci_text::{tokenize, IndexBuilder};
+use proptest::prelude::*;
+
+proptest! {
+    /// Tokenization is a fixed point: re-tokenizing the joined token
+    /// stream reproduces it.
+    #[test]
+    fn tokenize_fixed_point(s in "\\PC{0,80}") {
+        let once = tokenize(&s);
+        let twice = tokenize(&once.join(" "));
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Tokens contain only lowercase alphanumerics and are non-empty.
+    #[test]
+    fn tokens_are_clean(s in "\\PC{0,80}") {
+        for t in tokenize(&s) {
+            prop_assert!(!t.is_empty());
+            prop_assert!(t.chars().all(char::is_alphanumeric));
+            prop_assert_eq!(t.clone(), t.to_lowercase());
+        }
+    }
+
+    /// Index statistics are internally consistent: per-term document
+    /// frequencies match posting counts, document lengths match token
+    /// counts, relation stats aggregate document lengths.
+    #[test]
+    fn index_statistics_consistent(
+        docs in proptest::collection::vec(("[a-e ]{0,30}", 0u16..3), 1..12)
+    ) {
+        let mut builder = IndexBuilder::new();
+        for (i, (text, rel)) in docs.iter().enumerate() {
+            builder.add_doc(i as u32, *rel, text);
+        }
+        let idx = builder.build();
+        prop_assert_eq!(idx.doc_count(), docs.len());
+
+        for (i, (text, rel)) in docs.iter().enumerate() {
+            let tokens = tokenize(text);
+            prop_assert_eq!(idx.doc_len(i as u32) as usize, tokens.len());
+            prop_assert_eq!(idx.doc_relation(i as u32), Some(*rel));
+            // tf of each distinct token equals its occurrence count.
+            for tok in &tokens {
+                let expected = tokens.iter().filter(|t| *t == tok).count() as u32;
+                prop_assert_eq!(idx.tf(tok, i as u32), expected);
+            }
+        }
+
+        // df per keyword letter: number of docs containing it.
+        for letter in ["a", "b", "c", "d", "e"] {
+            let expected = docs
+                .iter()
+                .filter(|(text, _)| tokenize(text).iter().any(|t| t == letter))
+                .count() as u32;
+            prop_assert_eq!(idx.df(letter), expected, "df({})", letter);
+            // Sum of per-relation df equals total df.
+            let per_rel: u32 = (0..3).map(|r| idx.df_in_relation(letter, r)).sum();
+            prop_assert_eq!(per_rel, expected);
+            // Postings are sorted by doc id.
+            let posts = idx.postings(letter);
+            for w in posts.windows(2) {
+                prop_assert!(w[0].doc < w[1].doc);
+            }
+        }
+
+        // Relation stats: total_len equals the sum of member doc lengths.
+        for r in 0..3u16 {
+            let expect_docs = docs.iter().filter(|(_, rel)| *rel == r).count() as u64;
+            let expect_len: u64 = docs
+                .iter()
+                .filter(|(_, rel)| *rel == r)
+                .map(|(t, _)| tokenize(t).len() as u64)
+                .sum();
+            let stats = idx.relation_stats(r);
+            prop_assert_eq!(stats.n_docs, expect_docs);
+            prop_assert_eq!(stats.total_len, expect_len);
+        }
+    }
+
+    /// `match_count` equals the number of distinct query keywords present.
+    #[test]
+    fn match_count_correct(
+        text in "[a-e ]{0,30}",
+        query in proptest::collection::vec("[a-g]{1}", 1..6),
+    ) {
+        let mut b = IndexBuilder::new();
+        b.add_doc(0, 0, &text);
+        let idx = b.build();
+        let tokens = tokenize(&text);
+        let mut distinct: Vec<&String> = Vec::new();
+        for kw in &query {
+            if !distinct.contains(&kw) {
+                distinct.push(kw);
+            }
+        }
+        let expected = distinct
+            .iter()
+            .filter(|kw| tokens.iter().any(|t| t == **kw))
+            .count() as u32;
+        prop_assert_eq!(idx.match_count(0, &query), expected);
+    }
+}

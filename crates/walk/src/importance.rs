@@ -1,0 +1,93 @@
+use ci_graph::NodeId;
+
+/// Node importance values produced by a random-walk solver.
+///
+/// Wraps the probability vector `p` of Eq. 1 together with its minimum,
+/// which RWMP needs: the paper normalizes the surfer population so the
+/// least important node hosts exactly one surfer (`t = 1/p_min`, §III-C.2).
+#[derive(Debug, Clone)]
+pub struct Importance {
+    p: Vec<f64>,
+    p_min: f64,
+    p_max: f64,
+}
+
+impl Importance {
+    /// Wraps a probability vector. All entries must be strictly positive
+    /// (teleportation guarantees this for every solver in this crate).
+    pub fn new(p: Vec<f64>) -> Self {
+        assert!(!p.is_empty(), "importance vector must be non-empty");
+        let mut p_min = f64::INFINITY;
+        let mut p_max = f64::NEG_INFINITY;
+        for &x in &p {
+            assert!(x > 0.0, "importance values must be positive, got {x}");
+            p_min = p_min.min(x);
+            p_max = p_max.max(x);
+        }
+        Importance { p, p_min, p_max }
+    }
+
+    /// Importance of one node.
+    #[inline]
+    pub fn get(&self, v: NodeId) -> f64 {
+        self.p[v.idx()]
+    }
+
+    /// The full vector.
+    pub fn values(&self) -> &[f64] {
+        &self.p
+    }
+
+    /// Smallest importance value (`p_min`).
+    pub fn min(&self) -> f64 {
+        self.p_min
+    }
+
+    /// Largest importance value.
+    pub fn max(&self) -> f64 {
+        self.p_max
+    }
+
+    /// Total surfer count `t = 1/p_min` (§III-C.2: the least important node
+    /// hosts a single surfer).
+    pub fn total_surfers(&self) -> f64 {
+        1.0 / self.p_min
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.p.len()
+    }
+
+    /// True if empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.p.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_max_and_surfers() {
+        let imp = Importance::new(vec![0.25, 0.5, 0.25]);
+        assert_eq!(imp.min(), 0.25);
+        assert_eq!(imp.max(), 0.5);
+        assert_eq!(imp.total_surfers(), 4.0);
+        assert_eq!(imp.get(NodeId(1)), 0.5);
+        assert_eq!(imp.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_importance_rejected() {
+        Importance::new(vec![0.5, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_rejected() {
+        Importance::new(vec![]);
+    }
+}

@@ -1,0 +1,51 @@
+//! Random-walk node importance (§III-A of the paper).
+//!
+//! The importance of a node is the stationary probability of a random
+//! surfer: `p = (1 − c)·M·p + c·u` (Eq. 1), where `M` is the column-
+//! stochastic transition matrix built from normalized edge weights, `c` is
+//! the teleportation constant (the paper uses the typical value 0.15), and
+//! `u` the teleportation vector.
+//!
+//! Three solvers are provided:
+//!
+//! * [`pagerank`] — power iteration with a uniform teleport vector;
+//! * [`pagerank_personalized`] — power iteration with a caller-supplied
+//!   teleport vector, used for the user-feedback biasing the paper applies
+//!   with its labeled AOL queries (and lists as future work to extend);
+//! * [`monte_carlo`] — a Monte-Carlo estimator, the simulation alternative
+//!   the paper mentions for Eq. 1.
+//!
+//! The result is wrapped in [`Importance`], which also carries `p_min`
+//! (the smallest importance), because RWMP's dampening function (Eq. 2) and
+//! total surfer count `t = 1/p_min` are defined relative to it.
+//!
+//! # Example
+//!
+//! ```
+//! use ci_graph::{GraphBuilder, NodeId};
+//! use ci_walk::{pagerank, PowerOptions};
+//!
+//! let mut b = GraphBuilder::new();
+//! let hub = b.add_node(0, vec![]);
+//! for _ in 0..4 {
+//!     let spoke = b.add_node(1, vec![]);
+//!     b.add_pair(hub, spoke, 1.0, 1.0);
+//! }
+//! let graph = b.build();
+//! let importance = pagerank(&graph, PowerOptions::default());
+//! // The hub collects the walk's mass.
+//! assert_eq!(importance.max(), importance.get(hub));
+//! let total: f64 = importance.values().iter().sum();
+//! assert!((total - 1.0).abs() < 1e-8);
+//! ```
+
+mod importance;
+mod monte_carlo;
+mod power;
+
+pub use importance::Importance;
+pub use monte_carlo::monte_carlo;
+pub use power::{
+    pagerank, pagerank_personalized, pagerank_personalized_with_stats, pagerank_with_stats,
+    Convergence, PowerOptions,
+};

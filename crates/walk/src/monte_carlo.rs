@@ -1,0 +1,125 @@
+use ci_graph::{Graph, NodeId};
+use rand::Rng;
+
+use crate::importance::Importance;
+
+/// Monte-Carlo estimation of the random-walk stationary distribution —
+/// the simulation alternative to power iteration the paper mentions for
+/// Eq. 1.
+///
+/// Runs `walks_per_node` independent walks from every node; each step the
+/// surfer teleports with probability `teleport` (ending the walk — the
+/// "cycle stop" formulation) or moves to a neighbor sampled proportionally
+/// to normalized edge weights. Visit counts across all walks estimate `p`
+/// up to normalization. Estimates are floored at one visit so that
+/// `p_min > 0` as [`Importance`] requires.
+pub fn monte_carlo<R: Rng>(
+    graph: &Graph,
+    teleport: f64,
+    walks_per_node: usize,
+    rng: &mut R,
+) -> Importance {
+    assert!(
+        teleport > 0.0 && teleport < 1.0,
+        "teleportation constant must lie in (0, 1)"
+    );
+    assert!(walks_per_node > 0, "need at least one walk per node");
+    let n = graph.node_count();
+    assert!(n > 0, "monte_carlo over an empty graph");
+    let mut visits = vec![1u64; n];
+    for start in graph.nodes() {
+        for _ in 0..walks_per_node {
+            let mut cur = start;
+            loop {
+                visits[cur.idx()] += 1;
+                if rng.gen::<f64>() < teleport {
+                    break;
+                }
+                match sample_neighbor(graph, cur, rng) {
+                    Some(next) => cur = next,
+                    None => break, // dangling node: walk ends
+                }
+            }
+        }
+    }
+    let total: u64 = visits.iter().sum();
+    Importance::new(visits.iter().map(|&v| v as f64 / total as f64).collect())
+}
+
+fn sample_neighbor<R: Rng>(graph: &Graph, v: NodeId, rng: &mut R) -> Option<NodeId> {
+    if graph.out_degree(v) == 0 {
+        return None;
+    }
+    let x: f64 = rng.gen();
+    let mut acc = 0.0;
+    let mut last = None;
+    for e in graph.edges(v) {
+        acc += e.norm_weight;
+        last = Some(e.to);
+        if x < acc {
+            return Some(e.to);
+        }
+    }
+    last // floating-point slack: fall back to the final neighbor
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ci_graph::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn star(spokes: usize) -> Graph {
+        let mut b = GraphBuilder::new();
+        let hub = b.add_node(0, vec![]);
+        for _ in 0..spokes {
+            let s = b.add_node(1, vec![]);
+            b.add_pair(hub, s, 1.0, 1.0);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn estimates_sum_to_one_and_rank_the_hub_first() {
+        let g = star(6);
+        let mut rng = StdRng::seed_from_u64(7);
+        let imp = monte_carlo(&g, 0.15, 500, &mut rng);
+        let s: f64 = imp.values().iter().sum();
+        assert!((s - 1.0).abs() < 1e-9);
+        for i in 1..=6u32 {
+            assert!(imp.get(NodeId(0)) > imp.get(NodeId(i)));
+        }
+    }
+
+    #[test]
+    fn agrees_with_power_iteration_on_small_graph() {
+        let g = star(4);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mc = monte_carlo(&g, 0.15, 4000, &mut rng);
+        let pi = crate::pagerank(&g, crate::PowerOptions::default());
+        for v in g.nodes() {
+            let rel = (mc.get(v) - pi.get(v)).abs() / pi.get(v);
+            assert!(rel < 0.1, "node {v}: mc {} vs pi {}", mc.get(v), pi.get(v));
+        }
+    }
+
+    #[test]
+    fn deterministic_with_fixed_seed() {
+        let g = star(3);
+        let a = monte_carlo(&g, 0.15, 100, &mut StdRng::seed_from_u64(1));
+        let b = monte_carlo(&g, 0.15, 100, &mut StdRng::seed_from_u64(1));
+        assert_eq!(a.values(), b.values());
+    }
+
+    #[test]
+    fn dangling_only_graph_does_not_hang() {
+        let mut b = GraphBuilder::new();
+        b.add_node(0, vec![]);
+        b.add_node(0, vec![]);
+        let g = b.build();
+        let imp = monte_carlo(&g, 0.5, 10, &mut StdRng::seed_from_u64(3));
+        assert_eq!(imp.len(), 2);
+        assert!(imp.min() > 0.0);
+    }
+}

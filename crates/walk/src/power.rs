@@ -1,0 +1,271 @@
+use ci_graph::Graph;
+
+use crate::importance::Importance;
+
+/// Options for the power-iteration solvers.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerOptions {
+    /// Teleportation constant `c` of Eq. 1. The paper uses 0.15.
+    pub teleport: f64,
+    /// Convergence threshold on the L1 change between iterations.
+    pub epsilon: f64,
+    /// Iteration cap.
+    pub max_iterations: usize,
+}
+
+impl Default for PowerOptions {
+    fn default() -> Self {
+        PowerOptions {
+            teleport: 0.15,
+            epsilon: 1e-10,
+            max_iterations: 200,
+        }
+    }
+}
+
+/// Convergence report of a power-iteration run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Convergence {
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final L1 change between successive iterates.
+    pub residual: f64,
+    /// True if the residual dropped below `epsilon` before the iteration
+    /// cap.
+    pub converged: bool,
+}
+
+/// Power iteration of Eq. 1 with a uniform teleport vector.
+pub fn pagerank(graph: &Graph, opts: PowerOptions) -> Importance {
+    pagerank_with_stats(graph, opts).0
+}
+
+/// Like [`pagerank`], also reporting convergence diagnostics.
+pub fn pagerank_with_stats(graph: &Graph, opts: PowerOptions) -> (Importance, Convergence) {
+    let n = graph.node_count();
+    assert!(n > 0, "pagerank over an empty graph");
+    let uniform = vec![1.0 / n as f64; n];
+    solve(graph, opts, &uniform)
+}
+
+/// Power iteration of Eq. 1 with a personalized teleport vector (biased
+/// random walk). `teleport_vector` must be non-negative and is normalized
+/// internally; to keep every importance strictly positive (required by
+/// RWMP's `p_min`), a small uniform floor is mixed in.
+pub fn pagerank_personalized(
+    graph: &Graph,
+    opts: PowerOptions,
+    teleport_vector: &[f64],
+) -> Importance {
+    pagerank_personalized_with_stats(graph, opts, teleport_vector).0
+}
+
+/// Like [`pagerank_personalized`], also reporting convergence diagnostics.
+pub fn pagerank_personalized_with_stats(
+    graph: &Graph,
+    opts: PowerOptions,
+    teleport_vector: &[f64],
+) -> (Importance, Convergence) {
+    let n = graph.node_count();
+    assert_eq!(teleport_vector.len(), n, "teleport vector length mismatch");
+    let sum: f64 = teleport_vector.iter().sum();
+    assert!(sum > 0.0, "teleport vector must have positive mass");
+    assert!(
+        teleport_vector.iter().all(|&x| x >= 0.0),
+        "teleport vector entries must be non-negative"
+    );
+    // Mix 99% personalization with a 1% uniform floor so p_min stays > 0.
+    const FLOOR: f64 = 0.01;
+    let u: Vec<f64> = teleport_vector
+        .iter()
+        .map(|&x| (1.0 - FLOOR) * x / sum + FLOOR / n as f64)
+        .collect();
+    solve(graph, opts, &u)
+}
+
+fn solve(graph: &Graph, opts: PowerOptions, u: &[f64]) -> (Importance, Convergence) {
+    assert!(
+        opts.teleport > 0.0 && opts.teleport < 1.0,
+        "teleportation constant must lie in (0, 1)"
+    );
+    let n = graph.node_count();
+    let c = opts.teleport;
+    let mut p = u.to_vec();
+    let mut next = vec![0.0f64; n];
+    let mut report = Convergence {
+        iterations: 0,
+        residual: f64::INFINITY,
+        converged: false,
+    };
+    for _ in 0..opts.max_iterations {
+        next.iter_mut().for_each(|x| *x = 0.0);
+        // Dangling nodes (no out-edges) teleport with probability 1: their
+        // walk mass is redistributed via u.
+        let mut dangling = 0.0;
+        for v in graph.nodes() {
+            let mass = p[v.idx()];
+            if graph.out_degree(v) == 0 {
+                dangling += mass;
+                continue;
+            }
+            for e in graph.edges(v) {
+                next[e.to.idx()] += (1.0 - c) * mass * e.norm_weight;
+            }
+        }
+        let redistribute = c + (1.0 - c) * dangling;
+        for i in 0..n {
+            next[i] += redistribute * u[i];
+        }
+        let delta: f64 = next
+            .iter()
+            .zip(p.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        std::mem::swap(&mut p, &mut next);
+        report.iterations += 1;
+        report.residual = delta;
+        if delta < opts.epsilon {
+            report.converged = true;
+            break;
+        }
+    }
+    (Importance::new(p), report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ci_graph::{GraphBuilder, NodeId};
+
+    fn star(hub_spokes: usize) -> Graph {
+        let mut b = GraphBuilder::new();
+        let hub = b.add_node(0, vec![]);
+        for _ in 0..hub_spokes {
+            let s = b.add_node(1, vec![]);
+            b.add_pair(hub, s, 1.0, 1.0);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let g = star(5);
+        let imp = pagerank(&g, PowerOptions::default());
+        let s: f64 = imp.values().iter().sum();
+        assert!((s - 1.0).abs() < 1e-8, "sum {s}");
+    }
+
+    #[test]
+    fn hub_is_most_important() {
+        let g = star(8);
+        let imp = pagerank(&g, PowerOptions::default());
+        let hub = imp.get(NodeId(0));
+        for i in 1..=8 {
+            assert!(hub > imp.get(NodeId(i as u32)));
+        }
+        assert_eq!(imp.max(), hub);
+    }
+
+    #[test]
+    fn symmetric_nodes_get_equal_importance() {
+        let g = star(4);
+        let imp = pagerank(&g, PowerOptions::default());
+        for i in 2..=4 {
+            assert!((imp.get(NodeId(1)) - imp.get(NodeId(i))).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dangling_nodes_handled() {
+        // 0 → 1, 1 has no out-edges.
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(0, vec![]);
+        let d = b.add_node(0, vec![]);
+        b.add_edge(a, d, 1.0);
+        let g = b.build();
+        let imp = pagerank(&g, PowerOptions::default());
+        let s: f64 = imp.values().iter().sum();
+        assert!((s - 1.0).abs() < 1e-8);
+        assert!(imp.get(NodeId(1)) > imp.get(NodeId(0)));
+    }
+
+    #[test]
+    fn edge_weights_steer_the_walk() {
+        // Hub points to two nodes with weights 4:1.
+        let mut b = GraphBuilder::new();
+        let hub = b.add_node(0, vec![]);
+        let heavy = b.add_node(0, vec![]);
+        let light = b.add_node(0, vec![]);
+        b.add_pair(hub, heavy, 4.0, 1.0);
+        b.add_pair(hub, light, 1.0, 1.0);
+        let g = b.build();
+        let imp = pagerank(&g, PowerOptions::default());
+        assert!(imp.get(NodeId(1)) > imp.get(NodeId(2)));
+    }
+
+    #[test]
+    fn personalized_biases_toward_mass() {
+        let g = star(4);
+        // All teleport mass on spoke 3.
+        let mut u = vec![0.0; g.node_count()];
+        u[3] = 1.0;
+        let imp = pagerank_personalized(&g, PowerOptions::default(), &u);
+        for i in [1u32, 2, 4] {
+            assert!(imp.get(NodeId(3)) > imp.get(NodeId(i)));
+        }
+        // Floor keeps everything positive.
+        assert!(imp.min() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "teleport vector length")]
+    fn personalized_length_checked() {
+        let g = star(2);
+        pagerank_personalized(&g, PowerOptions::default(), &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive mass")]
+    fn personalized_zero_mass_rejected() {
+        let g = star(2);
+        pagerank_personalized(&g, PowerOptions::default(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn convergence_report() {
+        let g = star(4);
+        let (_, report) = pagerank_with_stats(&g, PowerOptions::default());
+        assert!(report.converged);
+        assert!(report.iterations > 1);
+        assert!(report.residual < 1e-10);
+        // An impossible epsilon never converges but still reports.
+        let (_, starved) = pagerank_with_stats(
+            &g,
+            PowerOptions { epsilon: 0.0, max_iterations: 5, ..Default::default() },
+        );
+        assert!(!starved.converged);
+        assert_eq!(starved.iterations, 5);
+    }
+
+    #[test]
+    fn higher_teleport_flattens_distribution() {
+        let g = star(6);
+        let low = pagerank(
+            &g,
+            PowerOptions {
+                teleport: 0.05,
+                ..Default::default()
+            },
+        );
+        let high = pagerank(
+            &g,
+            PowerOptions {
+                teleport: 0.9,
+                ..Default::default()
+            },
+        );
+        let spread_low = low.max() / low.min();
+        let spread_high = high.max() / high.min();
+        assert!(spread_low > spread_high);
+    }
+}

@@ -1,0 +1,17 @@
+//! Workspace facade for the CI-Rank reproduction.
+//!
+//! Re-exports every member crate under one roof for the integration tests
+//! and examples. Library users should depend on the individual crates
+//! (most importantly [`ci_rank`]).
+
+pub use ci_baselines as baselines;
+pub use ci_datagen as datagen;
+pub use ci_eval as eval;
+pub use ci_graph as graph;
+pub use ci_index as index;
+pub use ci_rank as rank;
+pub use ci_rwmp as rwmp;
+pub use ci_search as search;
+pub use ci_storage as storage;
+pub use ci_text as text;
+pub use ci_walk as walk;

@@ -1,0 +1,29 @@
+//! Table I of the paper, as an integration test: the four qualitative
+//! benefits of RWMP must all hold (the eval harness builds each scenario
+//! and compares scores through the full public API).
+
+#[test]
+fn table1_all_properties_hold() {
+    let table = ci_eval::experiments::table1_benefits();
+    assert_eq!(table.rows.len(), 4);
+    for row in &table.rows {
+        assert_eq!(
+            row[3], "true",
+            "property {:?} failed: favored {} vs other {}",
+            row[0], row[1], row[2]
+        );
+    }
+}
+
+#[test]
+fn table2_matches_the_paper() {
+    let table = ci_eval::experiments::table2_weights();
+    // 5 IMDB edge kinds + 3 DBLP edge kinds.
+    assert_eq!(table.rows.len(), 8);
+    // Spot-check the asymmetric citation row.
+    let cites = table.rows.iter().find(|r| r[1] == "cites").unwrap();
+    assert_eq!((cites[2].as_str(), cites[3].as_str()), ("0.5", "0.1"));
+    // And a forward/backward symmetric one.
+    let am = table.rows.iter().find(|r| r[1] == "actor_movie").unwrap();
+    assert_eq!((am[2].as_str(), am[3].as_str()), ("1", "1"));
+}
