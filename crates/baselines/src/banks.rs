@@ -42,7 +42,9 @@ impl BanksPrestige {
         let mut indeg = vec![0u32; graph.node_count()];
         for v in graph.nodes() {
             for e in graph.edges(v) {
-                indeg[e.to.idx()] += 1;
+                if let Some(d) = indeg.get_mut(e.to.idx()) {
+                    *d += 1;
+                }
             }
         }
         let max = indeg.iter().copied().max().unwrap_or(0).max(1) as f64;
@@ -57,7 +59,7 @@ impl BanksPrestige {
 
     /// Prestige of one node, in `[0, 1]`.
     pub fn get(&self, v: NodeId) -> f64 {
-        self.values[v.idx()]
+        self.values.get(v.idx()).copied().unwrap_or(0.0)
     }
 }
 
@@ -153,7 +155,11 @@ pub fn banks_search(
             keyword_of.entry(m.0).or_default().push(k);
             best.insert((m.0, m.0), (0.0, m.0));
             hops.insert((m.0, m.0), 0);
-            heap.push(IterEntry { cost: 0.0, node: m.0, source: m.0 });
+            heap.push(IterEntry {
+                cost: 0.0,
+                node: m.0,
+                source: m.0,
+            });
         }
     }
     // node -> reached sources.
@@ -176,15 +182,21 @@ pub fn banks_search(
         }
         // Does `node` now see every keyword?
         let covered = (0..matchers.len()).all(|k| {
-            reach
-                .iter()
-                .any(|&s| keyword_of.get(&s).map(|ks| ks.contains(&k)).unwrap_or(false))
+            reach.iter().any(|&s| {
+                keyword_of
+                    .get(&s)
+                    .map(|ks| ks.contains(&k))
+                    .unwrap_or(false)
+            })
         });
         if covered {
             if let Some(tree) = assemble(node, reach, &best) {
                 let key = tree.canonical_key();
                 if seen_answers.insert(key) {
-                    let root_pos = tree.position(NodeId(node)).expect("root in tree");
+                    let Some(root_pos) = tree.position(NodeId(node)) else {
+                        debug_assert!(false, "assembled tree misses its root");
+                        continue;
+                    };
                     answers.push((tree, root_pos));
                 }
             }
@@ -195,9 +207,9 @@ pub fn banks_search(
             continue;
         }
         for u in graph.neighbors(NodeId(node)) {
-            let w = graph
-                .edge_weight(u, NodeId(node))
-                .expect("neighbor edge exists");
+            // A neighbor by definition shares an edge; treat a missing
+            // weight as an impassable (zero-strength) connection.
+            let w = graph.edge_weight(u, NodeId(node)).unwrap_or(0.0);
             let step = 1.0 / w.max(f64::MIN_POSITIVE);
             let nc = cost + step;
             let better = match best.get(&(source, u.0)) {
@@ -207,7 +219,11 @@ pub fn banks_search(
             if better {
                 best.insert((source, u.0), (nc, node));
                 hops.insert((source, u.0), h + 1);
-                heap.push(IterEntry { cost: nc, node: u.0, source });
+                heap.push(IterEntry {
+                    cost: nc,
+                    node: u.0,
+                    source,
+                });
             }
         }
     }
@@ -217,11 +233,7 @@ pub fn banks_search(
 /// Rebuilds the answer tree rooted at `root` from the per-source
 /// predecessor maps. Returns `None` when the path union is inconsistent
 /// (shared nodes with conflicting predecessors → cycle).
-fn assemble(
-    root: u32,
-    sources: &[u32],
-    best: &HashMap<(u32, u32), (f64, u32)>,
-) -> Option<Jtt> {
+fn assemble(root: u32, sources: &[u32], best: &HashMap<(u32, u32), (f64, u32)>) -> Option<Jtt> {
     let mut nodes: Vec<NodeId> = vec![NodeId(root)];
     let mut pos: HashMap<u32, usize> = HashMap::from([(root, 0)]);
     let mut edges: Vec<(usize, usize)> = Vec::new();
@@ -334,11 +346,7 @@ mod tests {
     #[test]
     fn backward_search_finds_connecting_trees() {
         let g = costar_graph();
-        let matchers = vec![
-            vec![NodeId(0)],
-            vec![NodeId(1)],
-            vec![NodeId(2)],
-        ];
+        let matchers = vec![vec![NodeId(0)], vec![NodeId(1)], vec![NodeId(2)]];
         let answers = banks_search(&g, &matchers, &BanksConfig::default());
         assert!(!answers.is_empty());
         // Every answer must contain all three actors.

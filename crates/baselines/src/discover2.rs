@@ -15,7 +15,10 @@ use ci_text::InvertedIndex;
 pub fn discover2_score(index: &InvertedIndex, keywords: &[String], docs: &[u32], s: f64) -> f64 {
     assert!(!docs.is_empty(), "a tree has at least one node");
     assert!((0.0..=1.0).contains(&s), "slope s must lie in [0, 1]");
-    let total: f64 = docs.iter().map(|&d| node_score(index, keywords, d, s)).sum();
+    let total: f64 = docs
+        .iter()
+        .map(|&d| node_score(index, keywords, d, s))
+        .sum();
     total / docs.len() as f64
 }
 

@@ -15,7 +15,11 @@ pub struct SparkParams {
 
 impl Default for SparkParams {
     fn default() -> Self {
-        SparkParams { s: 0.2, s1: 0.15, p: 2.0 }
+        SparkParams {
+            s: 0.2,
+            s1: 0.15,
+            p: 2.0,
+        }
     }
 }
 

@@ -4,6 +4,15 @@
 //! * RWMP scoring vs the three rejected §III-B alternatives;
 //! * redundant-matcher extensions on vs off in branch-and-bound.
 
+// LINT-EXEMPT(tests): integration tests may unwrap/index freely; the
+// workspace lint wall applies to library code only (ISSUE 1).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing
+)]
+
 use ci_bench::{dblp_data, dblp_queries};
 use ci_graph::{build_graph, WeightConfig};
 use ci_index::NoIndex;
@@ -33,8 +42,16 @@ fn bench(c: &mut Criterion) {
     let edges = (1..nodes.len()).map(|i| (i - 1, i)).collect();
     let tree = Jtt::new(nodes, edges).unwrap();
     let bindings = [
-        NodeBinding { pos: 0, match_count: 1, word_count: 2 },
-        NodeBinding { pos: tree.size() - 1, match_count: 1, word_count: 2 },
+        NodeBinding {
+            pos: 0,
+            match_count: 1,
+            word_count: 2,
+        },
+        NodeBinding {
+            pos: tree.size() - 1,
+            match_count: 1,
+            word_count: 2,
+        },
     ];
 
     let mut group = c.benchmark_group("ablation_scoring");
@@ -129,7 +146,9 @@ fn build_spec(
     if matches.is_empty() {
         return None;
     }
-    Some(ci_search::QuerySpec::from_matches(scorer, keywords, matches))
+    Some(ci_search::QuerySpec::from_matches(
+        scorer, keywords, matches,
+    ))
 }
 
 criterion_group!(benches, bench);

@@ -1,6 +1,15 @@
 //! Fig. 10 — naive vs branch-and-bound average top-5 search time on 10%
 //! samples of both datasets.
 
+// LINT-EXEMPT(tests): integration tests may unwrap/index freely; the
+// workspace lint wall applies to library code only (ISSUE 1).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing
+)]
+
 use ci_bench::{dblp_data, imdb_data};
 use ci_datagen::{dblp_workload, imdb_synthetic_workload, sample_database, DblpData, ImdbData};
 use ci_graph::WeightConfig;
@@ -16,7 +25,11 @@ fn bench(c: &mut Criterion) {
         let full = imdb_data();
         let s = sample_database(&full.db, 0.1, 99);
         let truth = s.project_truth(&full.truth);
-        let data = ImdbData { db: s.db, tables: full.tables, truth };
+        let data = ImdbData {
+            db: s.db,
+            tables: full.tables,
+            truth,
+        };
         let engine = Engine::build(
             &data.db,
             CiRankConfig {
@@ -52,7 +65,11 @@ fn bench(c: &mut Criterion) {
         let full = dblp_data();
         let s = sample_database(&full.db, 0.1, 99);
         let truth = s.project_truth(&full.truth);
-        let data = DblpData { db: s.db, tables: full.tables, truth };
+        let data = DblpData {
+            db: s.db,
+            tables: full.tables,
+            truth,
+        };
         let engine = Engine::build(
             &data.db,
             CiRankConfig {

@@ -2,6 +2,15 @@
 //! D ∈ {4, 5, 6}, with ("Upbound search + Index") and without ("Upbound
 //! search") the star index, on IMDB and DBLP.
 
+// LINT-EXEMPT(tests): integration tests may unwrap/index freely; the
+// workspace lint wall applies to library code only (ISSUE 1).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing
+)]
+
 use ci_bench::{dblp_data, dblp_engine, dblp_queries, imdb_data, imdb_engine, imdb_queries};
 use ci_rank::IndexKind;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};

@@ -1,6 +1,15 @@
 //! §V index construction: naive (all pairs) vs star indexing build cost —
 //! the size/pruning-power trade-off behind Table-of-contents entry §V-B.
 
+// LINT-EXEMPT(tests): integration tests may unwrap/index freely; the
+// workspace lint wall applies to library code only (ISSUE 1).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing
+)]
+
 use ci_bench::dblp_data;
 use ci_graph::{build_graph, WeightConfig};
 use ci_index::{detect_star_relations, NaiveIndex, StarIndex};

@@ -4,6 +4,19 @@
 //! fixtures keep dataset generation out of the measured sections and use
 //! bench-scale sizes so `cargo bench --workspace` completes in minutes.
 
+// LINT-EXEMPT(tests): the workspace lint wall (workspace Cargo.toml) bans
+// panicking constructs in library code; unit tests opt back in. Clippy still
+// checks the non-test compilation of this crate, so library violations are
+// caught even with this relaxation in place.
+#![cfg_attr(
+    test,
+    allow(clippy::unwrap_used, clippy::panic, clippy::indexing_slicing)
+)]
+// LINT-EXEMPT(bench-fixture): this crate exists only to feed the Criterion
+// benches deterministic fixtures; a panic at fixture-build time aborts the
+// bench run, which is the desired behavior.
+#![allow(clippy::expect_used)]
+
 use ci_datagen::{
     dblp_workload, generate_dblp, generate_imdb, imdb_synthetic_workload, DblpConfig, DblpData,
     ImdbConfig, ImdbData, LabeledQuery,

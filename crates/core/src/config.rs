@@ -117,7 +117,11 @@ mod tests {
 
     #[test]
     fn search_options_propagate() {
-        let c = CiRankConfig { diameter: 6, k: 5, ..Default::default() };
+        let c = CiRankConfig {
+            diameter: 6,
+            k: 5,
+            ..Default::default()
+        };
         let o = c.search_options();
         assert_eq!(o.diameter, 6);
         assert_eq!(o.k, 5);

@@ -139,15 +139,24 @@ impl Engine {
         let importance = match &cfg.importance {
             ImportanceMethod::PowerIteration => pagerank(
                 &graph,
-                PowerOptions { teleport: cfg.teleport, ..Default::default() },
+                PowerOptions {
+                    teleport: cfg.teleport,
+                    ..Default::default()
+                },
             ),
-            ImportanceMethod::MonteCarlo { walks_per_node, seed } => {
+            ImportanceMethod::MonteCarlo {
+                walks_per_node,
+                seed,
+            } => {
                 let mut rng = StdRng::seed_from_u64(*seed);
                 monte_carlo(&graph, cfg.teleport, *walks_per_node, &mut rng)
             }
             ImportanceMethod::Personalized(u) => pagerank_personalized(
                 &graph,
-                PowerOptions { teleport: cfg.teleport, ..Default::default() },
+                PowerOptions {
+                    teleport: cfg.teleport,
+                    ..Default::default()
+                },
                 u,
             ),
         };
@@ -158,12 +167,17 @@ impl Engine {
                 &graph,
                 importance.values(),
                 importance.min(),
-                Dampening::Logarithmic { alpha: cfg.alpha, g: cfg.g },
+                Dampening::Logarithmic {
+                    alpha: cfg.alpha,
+                    g: cfg.g,
+                },
             );
             let damp: Vec<f64> = graph.nodes().map(|v| scorer.dampening(v)).collect();
             match &cfg.index {
                 IndexKind::None => DistIndex::None,
-                IndexKind::Naive => DistIndex::Naive(NaiveIndex::build(&graph, &damp, cfg.diameter)),
+                IndexKind::Naive => {
+                    DistIndex::Naive(NaiveIndex::build(&graph, &damp, cfg.diameter))
+                }
                 IndexKind::Star { relations } => {
                     let rels = relations
                         .clone()
@@ -207,7 +221,7 @@ impl Engine {
 
     /// The concatenated text of one graph node.
     pub fn node_text(&self, v: NodeId) -> &str {
-        &self.node_text[v.idx()]
+        self.node_text.get(v.idx()).map_or("", String::as_str)
     }
 
     /// The RWMP scorer over this engine's graph and importance.
@@ -216,7 +230,10 @@ impl Engine {
             &self.graph,
             self.importance.values(),
             self.importance.min(),
-            Dampening::Logarithmic { alpha: self.cfg.alpha, g: self.cfg.g },
+            Dampening::Logarithmic {
+                alpha: self.cfg.alpha,
+                g: self.cfg.g,
+            },
         )
     }
 
@@ -275,7 +292,10 @@ impl Engine {
         let (answers, stats) =
             self.run_with_oracle(|oracle| bnb_search(&scorer, &spec, oracle, &opts));
         Ok((
-            answers.into_iter().map(|a| self.to_ranked(&spec, a)).collect(),
+            answers
+                .into_iter()
+                .map(|a| self.to_ranked(&spec, a))
+                .collect(),
             stats,
         ))
     }
@@ -288,7 +308,10 @@ impl Engine {
         let opts = self.cfg.search_options();
         let (answers, truncated) = naive_search(&scorer, &spec, &opts);
         Ok((
-            answers.into_iter().map(|a| self.to_ranked(&spec, a)).collect(),
+            answers
+                .into_iter()
+                .map(|a| self.to_ranked(&spec, a))
+                .collect(),
             truncated,
         ))
     }
@@ -305,8 +328,7 @@ impl Engine {
             k: pool_k,
             ..self.cfg.search_options()
         };
-        let (answers, _) =
-            self.run_with_oracle(|oracle| bnb_search(&scorer, &spec, oracle, &opts));
+        let (answers, _) = self.run_with_oracle(|oracle| bnb_search(&scorer, &spec, oracle, &opts));
         Ok(answers)
     }
 
@@ -358,18 +380,20 @@ impl Engine {
             max_hops: self.cfg.diameter,
             ..Default::default()
         };
-        let mut answers: Vec<RankedAnswer> = ci_baselines::banks_search(
-            &self.graph,
-            &matchers,
-            &banks_cfg,
-        )
-        .into_iter()
-        .map(|(tree, root)| {
-            let score =
-                ci_baselines::banks_score(&self.graph, &self.prestige, &tree, root, banks_cfg.lambda);
-            self.to_ranked(&spec, Answer { tree, score })
-        })
-        .collect();
+        let mut answers: Vec<RankedAnswer> =
+            ci_baselines::banks_search(&self.graph, &matchers, &banks_cfg)
+                .into_iter()
+                .map(|(tree, root)| {
+                    let score = ci_baselines::banks_score(
+                        &self.graph,
+                        &self.prestige,
+                        &tree,
+                        root,
+                        banks_cfg.lambda,
+                    );
+                    self.to_ranked(&spec, Answer { tree, score })
+                })
+                .collect();
         answers.sort_by(|a, b| b.score.total_cmp(&a.score));
         answers.truncate(self.cfg.k);
         Ok(answers)
@@ -401,7 +425,7 @@ impl Engine {
                 let node = tree.node(b.pos);
                 ScoreExplanation {
                     node,
-                    text: self.node_text[node.idx()].clone(),
+                    text: self.node_text(node).to_owned(),
                     importance: self.importance.get(node),
                     dampening: scorer.dampening(node),
                     generation: scorer.generation(node, b.match_count, b.word_count),
@@ -423,7 +447,7 @@ impl Engine {
                     .get(self.graph.relation(v) as usize)
                     .cloned()
                     .unwrap_or_else(|| format!("rel{}", self.graph.relation(v))),
-                text: self.node_text[v.idx()].clone(),
+                text: self.node_text(v).to_owned(),
                 is_matcher: spec.matcher(v).is_some(),
             })
             .collect();
@@ -445,15 +469,30 @@ mod tests {
     /// — the paper's running example.
     fn tsimmis_db() -> Database {
         let (mut db, t) = schemas::dblp();
-        let a1 = db.insert(t.author, vec![Value::text("Yannis Papakonstantinou")]).unwrap();
-        let a2 = db.insert(t.author, vec![Value::text("Jeffrey Ullman")]).unwrap();
+        let a1 = db
+            .insert(t.author, vec![Value::text("Yannis Papakonstantinou")])
+            .unwrap();
+        let a2 = db
+            .insert(t.author, vec![Value::text("Jeffrey Ullman")])
+            .unwrap();
         let weak = db
-            .insert(t.paper, vec![Value::text("Capability Based Mediation in TSIMMIS"), Value::int(1997)])
+            .insert(
+                t.paper,
+                vec![
+                    Value::text("Capability Based Mediation in TSIMMIS"),
+                    Value::int(1997),
+                ],
+            )
             .unwrap();
         let strong = db
             .insert(
                 t.paper,
-                vec![Value::text("The TSIMMIS Project Integration of Heterogeneous Information Sources"), Value::int(1995)],
+                vec![
+                    Value::text(
+                        "The TSIMMIS Project Integration of Heterogeneous Information Sources",
+                    ),
+                    Value::int(1995),
+                ],
             )
             .unwrap();
         for p in [weak, strong] {
@@ -463,7 +502,13 @@ mod tests {
         // Citations: 7 for the weak paper, 38 for the strong one.
         for i in 0..45 {
             let citing = db
-                .insert(t.paper, vec![Value::text(format!("citing paper {i}")), Value::int(2000 + i)])
+                .insert(
+                    t.paper,
+                    vec![
+                        Value::text(format!("citing paper {i}")),
+                        Value::int(2000 + i),
+                    ],
+                )
                 .unwrap();
             let target = if i < 7 { weak } else { strong };
             db.link(t.cites, citing, target).unwrap();
@@ -541,7 +586,10 @@ mod tests {
             // Every BANKS answer covers both keywords.
             for kw in ["papakonstantinou", "ullman"] {
                 assert!(
-                    a.tree.nodes().iter().any(|&v| e.text_index().tf(kw, v.0) > 0),
+                    a.tree
+                        .nodes()
+                        .iter()
+                        .any(|&v| e.text_index().tf(kw, v.0) > 0),
                     "answer misses {kw:?}"
                 );
             }
@@ -558,7 +606,9 @@ mod tests {
     fn explain_breaks_down_the_score() {
         let e = engine();
         let answers = e.search("papakonstantinou ullman").unwrap();
-        let explained = e.explain("papakonstantinou ullman", &answers[0].tree).unwrap();
+        let explained = e
+            .explain("papakonstantinou ullman", &answers[0].tree)
+            .unwrap();
         assert_eq!(explained.len(), 2, "two matchers in the answer");
         for x in &explained {
             assert!(x.importance > 0.0);
@@ -572,9 +622,7 @@ mod tests {
             explained.iter().map(|x| x.node_score).sum::<f64>() / explained.len() as f64;
         assert!((mean - answers[0].score).abs() < 1e-9);
         // A tree with no matchers explains to nothing.
-        let free_only = e
-            .explain("zzzz qqqq", &answers[0].tree)
-            .unwrap();
+        let free_only = e.explain("zzzz qqqq", &answers[0].tree).unwrap();
         assert!(free_only.is_empty());
     }
 
@@ -590,7 +638,11 @@ mod tests {
 
     #[test]
     fn index_kinds_agree() {
-        for index in [IndexKind::None, IndexKind::Naive, IndexKind::Star { relations: None }] {
+        for index in [
+            IndexKind::None,
+            IndexKind::Naive,
+            IndexKind::Star { relations: None },
+        ] {
             let e = Engine::build(
                 &tsimmis_db(),
                 CiRankConfig {
@@ -602,7 +654,10 @@ mod tests {
             .unwrap();
             let answers = e.search("papakonstantinou ullman").unwrap();
             assert_eq!(answers.len(), 2);
-            assert!(answers[0].nodes.iter().any(|n| n.text.contains("Heterogeneous")));
+            assert!(answers[0]
+                .nodes
+                .iter()
+                .any(|n| n.text.contains("Heterogeneous")));
         }
     }
 
@@ -612,14 +667,20 @@ mod tests {
             &tsimmis_db(),
             CiRankConfig {
                 weights: WeightConfig::dblp_default(),
-                importance: ImportanceMethod::MonteCarlo { walks_per_node: 300, seed: 5 },
+                importance: ImportanceMethod::MonteCarlo {
+                    walks_per_node: 300,
+                    seed: 5,
+                },
                 ..Default::default()
             },
         )
         .unwrap();
         let answers = e.search("papakonstantinou ullman").unwrap();
         assert_eq!(answers.len(), 2);
-        assert!(answers[0].nodes.iter().any(|n| n.text.contains("Heterogeneous")));
+        assert!(answers[0]
+            .nodes
+            .iter()
+            .any(|n| n.text.contains("Heterogeneous")));
     }
 
     #[test]
@@ -627,7 +688,10 @@ mod tests {
         let db = tsimmis_db();
         let base = Engine::build(
             &db,
-            CiRankConfig { weights: WeightConfig::dblp_default(), ..Default::default() },
+            CiRankConfig {
+                weights: WeightConfig::dblp_default(),
+                ..Default::default()
+            },
         )
         .unwrap();
         // Bias all teleport mass onto the weak paper's node.
@@ -648,7 +712,11 @@ mod tests {
         )
         .unwrap();
         let answers = biased.search("papakonstantinou ullman").unwrap();
-        let top_paper = answers[0].nodes.iter().find(|n| n.relation == "paper").unwrap();
+        let top_paper = answers[0]
+            .nodes
+            .iter()
+            .find(|n| n.relation == "paper")
+            .unwrap();
         assert!(
             top_paper.text.contains("Capability"),
             "feedback bias flips the ranking"

@@ -18,7 +18,10 @@ impl fmt::Display for CiRankError {
         match self {
             CiRankError::EmptyQuery => write!(f, "query contains no keywords"),
             CiRankError::TooManyKeywords(n) => {
-                write!(f, "query has {n} distinct keywords; at most 32 are supported")
+                write!(
+                    f,
+                    "query has {n} distinct keywords; at most 32 are supported"
+                )
             }
             CiRankError::EmptyDatabase => write!(f, "the database contains no tuples"),
             CiRankError::Storage(e) => write!(f, "storage error: {e}"),
@@ -49,9 +52,9 @@ mod tests {
     fn display_and_source() {
         assert!(CiRankError::EmptyQuery.to_string().contains("no keywords"));
         assert!(CiRankError::TooManyKeywords(40).to_string().contains("40"));
-        let e = CiRankError::from(ci_storage::StorageError::UnknownTable(
-            ci_storage::TableId(1),
-        ));
+        let e = CiRankError::from(ci_storage::StorageError::UnknownTable(ci_storage::TableId(
+            1,
+        )));
         assert!(std::error::Error::source(&e).is_some());
     }
 }

@@ -94,7 +94,9 @@ impl FeedbackLog {
         for v in graph.nodes() {
             for t in graph.tuples(v) {
                 if let Some(&w) = self.clicks.get(t) {
-                    u[v.idx()] += w;
+                    if let Some(slot) = u.get_mut(v.idx()) {
+                        *slot += w;
+                    }
                 }
             }
         }
@@ -121,7 +123,10 @@ mod tests {
             .insert(t.paper, vec![Value::text("first option"), Value::int(2001)])
             .unwrap();
         let p2 = db
-            .insert(t.paper, vec![Value::text("second option"), Value::int(2002)])
+            .insert(
+                t.paper,
+                vec![Value::text("second option"), Value::int(2002)],
+            )
             .unwrap();
         for p in [p1, p2] {
             db.link(t.author_paper, a1, p).unwrap();
@@ -133,7 +138,10 @@ mod tests {
     #[test]
     fn feedback_flips_a_tied_ranking() {
         let (db, p1, p2) = two_paper_db();
-        let cfg = CiRankConfig { weights: WeightConfig::dblp_default(), ..Default::default() };
+        let cfg = CiRankConfig {
+            weights: WeightConfig::dblp_default(),
+            ..Default::default()
+        };
         let base = Engine::build(&db, cfg.clone()).unwrap();
 
         // Without feedback the two connecting papers are symmetric.
@@ -162,7 +170,10 @@ mod tests {
     #[test]
     fn record_answer_spreads_weight() {
         let (db, p1, _) = two_paper_db();
-        let cfg = CiRankConfig { weights: WeightConfig::dblp_default(), ..Default::default() };
+        let cfg = CiRankConfig {
+            weights: WeightConfig::dblp_default(),
+            ..Default::default()
+        };
         let base = Engine::build(&db, cfg).unwrap();
         let mut log = FeedbackLog::new();
         log.record_answer(&[p1, TupleId::new(p1.table, 99)], 2.0);
@@ -176,7 +187,10 @@ mod tests {
     #[test]
     fn empty_log_falls_back_to_uniform() {
         let (db, _, _) = two_paper_db();
-        let cfg = CiRankConfig { weights: WeightConfig::dblp_default(), ..Default::default() };
+        let cfg = CiRankConfig {
+            weights: WeightConfig::dblp_default(),
+            ..Default::default()
+        };
         let base = Engine::build(&db, cfg).unwrap();
         let log = FeedbackLog::new();
         assert!(log.is_empty());

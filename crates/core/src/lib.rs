@@ -49,6 +49,20 @@
 //! assert_eq!(answers[0].nodes.len(), 3); // author — paper — author
 //! ```
 
+// LINT-EXEMPT(tests): the workspace lint wall (workspace Cargo.toml) bans
+// panicking constructs in library code; unit tests opt back in. Clippy still
+// checks the non-test compilation of this crate, so library violations are
+// caught even with this relaxation in place.
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::indexing_slicing,
+    )
+)]
+
 mod config;
 mod engine;
 mod error;

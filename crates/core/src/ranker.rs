@@ -53,10 +53,14 @@ pub fn rank_pool(
             .iter()
             .map(|a| score_one(scorer, spec, text, graph, prestige, &a.tree, Ranker::Spark))
             .collect();
-        let max_ci = scored.iter().map(|s| s.1).fold(0.0f64, f64::max).max(1e-300);
+        let max_ci = scored
+            .iter()
+            .map(|s| s.1)
+            .fold(0.0f64, f64::max)
+            .max(1e-300);
         let max_ir = spark.iter().cloned().fold(0.0f64, f64::max).max(1e-300);
-        for (i, entry) in scored.iter_mut().enumerate() {
-            entry.1 = ci_weight * entry.1 / max_ci + (1.0 - ci_weight) * spark[i] / max_ir;
+        for (entry, &ir) in scored.iter_mut().zip(&spark) {
+            entry.1 = ci_weight * entry.1 / max_ci + (1.0 - ci_weight) * ir / max_ir;
         }
     }
     // Ties break on a hash of the tree identity: deterministic, but
@@ -64,7 +68,8 @@ pub fn rank_pool(
     // accidentally leak age, which correlates with citation counts in
     // bibliographic data).
     scored.sort_by(|a, b| {
-        b.1.total_cmp(&a.1).then_with(|| key_hash(&a.0).cmp(&key_hash(&b.0)))
+        b.1.total_cmp(&a.1)
+            .then_with(|| key_hash(&a.0).cmp(&key_hash(&b.0)))
     });
     scored
 }
@@ -86,9 +91,7 @@ fn score_one(
     ranker: Ranker,
 ) -> f64 {
     match ranker {
-        Ranker::CiRank | Ranker::Hybrid { .. } => {
-            score_answer(scorer, spec, tree).unwrap_or(0.0)
-        }
+        Ranker::CiRank | Ranker::Hybrid { .. } => score_answer(scorer, spec, tree).unwrap_or(0.0),
         Ranker::Spark => {
             let docs: Vec<u32> = tree.nodes().iter().map(|n| n.0).collect();
             spark_score(text, spec.keywords(), &docs, &SparkParams::default())
@@ -146,7 +149,10 @@ mod tests {
         let p2 = db
             .insert(
                 t.paper,
-                vec![Value::text("a very long descriptive famous title"), Value::int(2001)],
+                vec![
+                    Value::text("a very long descriptive famous title"),
+                    Value::int(2001),
+                ],
             )
             .unwrap();
         for p in [p1, p2] {
@@ -156,13 +162,19 @@ mod tests {
         // p2 heavily cited.
         for i in 0..20 {
             let c = db
-                .insert(t.paper, vec![Value::text(format!("citer {i}")), Value::int(2010)])
+                .insert(
+                    t.paper,
+                    vec![Value::text(format!("citer {i}")), Value::int(2010)],
+                )
                 .unwrap();
             db.link(t.cites, c, p2).unwrap();
         }
         Engine::build(
             &db,
-            CiRankConfig { weights: WeightConfig::dblp_default(), ..Default::default() },
+            CiRankConfig {
+                weights: WeightConfig::dblp_default(),
+                ..Default::default()
+            },
         )
         .unwrap()
     }
@@ -210,8 +222,12 @@ mod tests {
     fn hybrid_interpolates_between_parents() {
         let e = engine();
         let pool = e.candidate_pool("crane quill", 10).unwrap();
-        let pure_ci = e.rank("crane quill", &pool, Ranker::Hybrid { ci_weight: 1.0 }).unwrap();
-        let pure_ir = e.rank("crane quill", &pool, Ranker::Hybrid { ci_weight: 0.0 }).unwrap();
+        let pure_ci = e
+            .rank("crane quill", &pool, Ranker::Hybrid { ci_weight: 1.0 })
+            .unwrap();
+        let pure_ir = e
+            .rank("crane quill", &pool, Ranker::Hybrid { ci_weight: 0.0 })
+            .unwrap();
         assert!(pure_ci[0].nodes.iter().any(|n| n.text.contains("famous")));
         assert!(pure_ir[0].nodes.iter().any(|n| n.text.contains("short")));
     }

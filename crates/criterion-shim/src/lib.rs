@@ -1,0 +1,246 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no crates.io access, so the criterion API the
+//! workspace benches use is vendored here: `Criterion::benchmark_group`,
+//! `bench_function` / `bench_with_input`, `sample_size`, `BenchmarkId`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! This is a functional harness, not a statistical one: each benchmark runs
+//! a short warm-up followed by `sample_size` timed iterations and reports
+//! min / mean / max wall-clock per iteration on stdout. There is no outlier
+//! rejection, no HTML report, and no saved baselines. Pass `--quick` (or
+//! set `CI_BENCH_QUICK=1`) to cap samples at 10 for smoke runs.
+//!
+//! If registry access ever returns, deleting this crate and restoring
+//! `criterion = "0.5"` in the workspace manifest is a drop-in swap.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle, passed to every bench function.
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::args().any(|a| a == "--quick")
+            || std::env::var_os("CI_BENCH_QUICK").is_some();
+        Criterion { quick }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        let quick = self.quick;
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size: 100,
+            quick,
+        }
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value.
+    pub fn new(name: impl Into<String>, param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{param}", name.into()),
+        }
+    }
+
+    /// A bare parameter value.
+    pub fn from_parameter(param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// A named group of benchmarks; see [`Criterion::benchmark_group`].
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    quick: bool,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a benchmark with no explicit input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.arm_budget();
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        self.report(&id, &b.samples);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        self.arm_budget();
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
+        f(&mut b, input);
+        self.report(&id, &b.samples);
+        self
+    }
+
+    /// Ends the group (upstream writes summary reports here; the shim has
+    /// already printed per-benchmark lines).
+    pub fn finish(self) {}
+
+    fn effective_samples(&self) -> usize {
+        if self.quick {
+            self.sample_size.min(10)
+        } else {
+            self.sample_size
+        }
+    }
+
+    fn report(&self, id: &BenchmarkId, samples: &[Duration]) {
+        if samples.is_empty() {
+            println!("  {}/{}: no samples", self.name, id.label);
+            return;
+        }
+        let total: Duration = samples.iter().sum();
+        let mean = total / u32::try_from(samples.len().max(1)).unwrap_or(u32::MAX);
+        let min = samples.iter().min().copied().unwrap_or_default();
+        let max = samples.iter().max().copied().unwrap_or_default();
+        println!(
+            "  {}/{}: mean {mean:?} min {min:?} max {max:?} ({} samples)",
+            self.name,
+            id.label,
+            samples.len()
+        );
+    }
+}
+
+thread_local! {
+    // bench_function closures receive the Bencher and call `iter`; the
+    // sample budget travels through this slot so `Bencher` stays a plain
+    // struct like upstream's.
+    static SAMPLE_BUDGET: std::cell::Cell<usize> = const { std::cell::Cell::new(100) };
+}
+
+/// Timing handle passed to the benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f` over the configured number of samples (after 3 warm-up
+    /// calls) and records one duration per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let n = SAMPLE_BUDGET.with(std::cell::Cell::get);
+        for _ in 0..3 {
+            black_box(f());
+        }
+        self.samples.reserve(n);
+        for _ in 0..n {
+            let t = Instant::now();
+            black_box(f());
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+impl BenchmarkGroup<'_> {
+    fn arm_budget(&self) {
+        let n = self.effective_samples();
+        SAMPLE_BUDGET.with(|b| b.set(n));
+    }
+}
+
+/// Declares a bench entry point collection (mirrors upstream).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench binary (mirrors upstream).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion { quick: true };
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(5);
+        let mut runs = 0u32;
+        group.bench_function("add", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(2u64 + 2)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("mul", 3), &3u64, |b, &x| {
+            b.iter(|| black_box(x * x))
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+}

@@ -84,8 +84,11 @@ pub fn generate_dblp(cfg: DblpConfig) -> DblpData {
 
     let authors: Vec<TupleId> = (0..cfg.authors)
         .map(|_| {
-            db.insert(tables.author, vec![Value::text(names::person_name(&mut rng))])
-                .expect("schema matches")
+            db.insert(
+                tables.author,
+                vec![Value::text(names::person_name(&mut rng))],
+            )
+            .expect("schema matches")
         })
         .collect();
     let author_pick = Zipf::new(cfg.authors, cfg.zipf_exponent);
@@ -106,13 +109,19 @@ pub fn generate_dblp(cfg: DblpConfig) -> DblpData {
             )
             .expect("schema matches");
         papers.push(paper);
-        db.link(tables.paper_conference, paper, confs[conf_pick.sample(&mut rng)])
-            .expect("valid endpoints");
+        db.link(
+            tables.paper_conference,
+            paper,
+            confs[conf_pick.sample(&mut rng)],
+        )
+        .expect("valid endpoints");
 
         // Authors: 1 + geometric-ish around avg_authors. With probability
         // `repeat_collaboration` the paper starts from the author core of
         // an earlier paper (same research group publishing again).
-        let n_auth = 1 + rng.gen_range(0..(2.0 * cfg.avg_authors) as usize + 1).min(cfg.authors - 1);
+        let n_auth = 1 + rng
+            .gen_range(0..(2.0 * cfg.avg_authors) as usize + 1)
+            .min(cfg.authors - 1);
         let mut assigned: Vec<TupleId> = Vec::new();
         if i > 0 && rng.gen::<f64>() < cfg.repeat_collaboration {
             let prev = &author_sets[rng.gen_range(0..i)];
@@ -125,7 +134,8 @@ pub fn generate_dblp(cfg: DblpConfig) -> DblpData {
             }
         }
         for &a in &assigned {
-            db.link(tables.author_paper, a, paper).expect("valid endpoints");
+            db.link(tables.author_paper, a, paper)
+                .expect("valid endpoints");
         }
         author_sets.push(assigned);
 
@@ -163,7 +173,11 @@ pub fn generate_dblp(cfg: DblpConfig) -> DblpData {
         author_cites[a as usize] += citations[p as usize] + 1;
     }
     let mut conf_cites = vec![0usize; cfg.conferences];
-    let pc = db.link_set(tables.paper_conference).unwrap().pairs().to_vec();
+    let pc = db
+        .link_set(tables.paper_conference)
+        .unwrap()
+        .pairs()
+        .to_vec();
     for (p, c) in pc {
         conf_cites[c as usize] += citations[p as usize] + 1;
     }
@@ -219,7 +233,10 @@ mod tests {
 
     #[test]
     fn citations_are_heavy_tailed() {
-        let d = generate_dblp(DblpConfig { papers: 400, ..small() });
+        let d = generate_dblp(DblpConfig {
+            papers: 400,
+            ..small()
+        });
         let mut counts = vec![0usize; 400];
         for &(_, cited) in d.db.link_set(d.tables.cites).unwrap().pairs() {
             counts[cited as usize] += 1;

@@ -76,11 +76,11 @@ pub fn generate_imdb(cfg: ImdbConfig) -> ImdbData {
 
     // People and companies, each with a Zipf popularity by creation rank.
     let insert_people = |db: &mut Database,
-                             truth: &mut GroundTruth,
-                             rng: &mut StdRng,
-                             table,
-                             n: usize,
-                             name_fn: fn(&mut StdRng) -> String|
+                         truth: &mut GroundTruth,
+                         rng: &mut StdRng,
+                         table,
+                         n: usize,
+                         name_fn: fn(&mut StdRng) -> String|
      -> Vec<TupleId> {
         let pop = Zipf::new(n.max(1), cfg.zipf_exponent);
         (0..n)
@@ -94,11 +94,46 @@ pub fn generate_imdb(cfg: ImdbConfig) -> ImdbData {
             .collect()
     };
 
-    let actors = insert_people(&mut db, &mut truth, &mut rng, tables.actor, cfg.actors, names::person_name);
-    let actresses = insert_people(&mut db, &mut truth, &mut rng, tables.actress, cfg.actresses, names::person_name);
-    let directors = insert_people(&mut db, &mut truth, &mut rng, tables.director, cfg.directors, names::person_name);
-    let producers = insert_people(&mut db, &mut truth, &mut rng, tables.producer, cfg.producers, names::person_name);
-    let companies = insert_people(&mut db, &mut truth, &mut rng, tables.company, cfg.companies, names::company_name);
+    let actors = insert_people(
+        &mut db,
+        &mut truth,
+        &mut rng,
+        tables.actor,
+        cfg.actors,
+        names::person_name,
+    );
+    let actresses = insert_people(
+        &mut db,
+        &mut truth,
+        &mut rng,
+        tables.actress,
+        cfg.actresses,
+        names::person_name,
+    );
+    let directors = insert_people(
+        &mut db,
+        &mut truth,
+        &mut rng,
+        tables.director,
+        cfg.directors,
+        names::person_name,
+    );
+    let producers = insert_people(
+        &mut db,
+        &mut truth,
+        &mut rng,
+        tables.producer,
+        cfg.producers,
+        names::person_name,
+    );
+    let companies = insert_people(
+        &mut db,
+        &mut truth,
+        &mut rng,
+        tables.company,
+        cfg.companies,
+        names::company_name,
+    );
 
     let actor_pick = Zipf::new(cfg.actors.max(1), cfg.zipf_exponent);
     let actress_pick = Zipf::new(cfg.actresses.max(1), cfg.zipf_exponent);
@@ -153,15 +188,18 @@ pub fn generate_imdb(cfg: ImdbConfig) -> ImdbData {
         casts.push(cast);
         if !directors.is_empty() {
             let d = directors[director_pick.sample(&mut rng)];
-            db.link(tables.director_movie, d, movie).expect("valid endpoints");
+            db.link(tables.director_movie, d, movie)
+                .expect("valid endpoints");
         }
         if !producers.is_empty() && rng.gen_bool(0.8) {
             let p = producers[producer_pick.sample(&mut rng)];
-            db.link(tables.producer_movie, p, movie).expect("valid endpoints");
+            db.link(tables.producer_movie, p, movie)
+                .expect("valid endpoints");
         }
         if !companies.is_empty() {
             let c = companies[company_pick.sample(&mut rng)];
-            db.link(tables.company_movie, c, movie).expect("valid endpoints");
+            db.link(tables.company_movie, c, movie)
+                .expect("valid endpoints");
         }
     }
 
@@ -199,7 +237,10 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let a = generate_imdb(small());
-        let b = generate_imdb(ImdbConfig { seed: 43, ..small() });
+        let b = generate_imdb(ImdbConfig {
+            seed: 43,
+            ..small()
+        });
         let ta = a.db.tuple_text(TupleId::new(a.tables.movie, 0)).unwrap();
         let tb = b.db.tuple_text(TupleId::new(b.tables.movie, 0)).unwrap();
         assert!(ta != tb || a.db.link_count() != b.db.link_count());
@@ -227,7 +268,10 @@ mod tests {
 
     #[test]
     fn popular_actors_star_more() {
-        let d = generate_imdb(ImdbConfig { movies: 200, ..small() });
+        let d = generate_imdb(ImdbConfig {
+            movies: 200,
+            ..small()
+        });
         let links = d.db.link_set(d.tables.actor_movie).unwrap();
         let mut counts = vec![0usize; 40];
         for &(a, _) in links.pairs() {

@@ -8,62 +8,230 @@
 use rand::Rng;
 
 pub(crate) const FIRST_NAMES: &[&str] = &[
-    "alden", "berit", "casimir", "delia", "edmund", "fiora", "gustav", "henrike", "ivo",
-    "jessa", "konrad", "lisbet", "milo", "nadia", "osric", "petra", "quentin", "ramona",
-    "soren", "tilda", "ulric", "vera", "wendel", "xenia", "yorick", "zelda", "ansel",
-    "brielle", "cormac", "dorian",
+    "alden", "berit", "casimir", "delia", "edmund", "fiora", "gustav", "henrike", "ivo", "jessa",
+    "konrad", "lisbet", "milo", "nadia", "osric", "petra", "quentin", "ramona", "soren", "tilda",
+    "ulric", "vera", "wendel", "xenia", "yorick", "zelda", "ansel", "brielle", "cormac", "dorian",
 ];
 
 pub(crate) const LAST_NAMES: &[&str] = &[
-    "ashford", "blackwell", "crane", "dunmore", "elbaz", "fenwick", "grimaldi", "holloway",
-    "ingram", "jarvis", "kessler", "lockhart", "merriweather", "northgate", "okafor",
-    "pemberton", "quill", "ravenscroft", "silvestri", "thackeray", "underhill", "vantassel",
-    "whitlock", "yardley", "zacharias", "abernathy", "bellweather", "calloway", "driscoll",
-    "eastmoor", "farrington", "goldsmith", "harrowgate", "ivanson", "jessup", "kirkbride",
-    "lanester", "mcallister", "nightingale", "osgood", "prendergast", "quimby", "rockwell",
-    "sandoval", "tremaine", "upshaw", "vanderbilt", "westerfield", "yancey", "zimmerle",
-    "applegate", "birchwood", "colfax", "darrow", "ellsworth", "fairbanks", "greenholt",
-    "hollister", "ironwood", "jagger", "knolls", "larkspur", "montclair", "norwood",
-    "oakhurst", "pinewhistle", "quarry", "redfern", "stonebridge", "thornfield", "umberto",
-    "vexley", "wyndham", "yarrow", "zeller", "ashcombe", "brackenridge", "cresswell",
-    "dunwiddie", "emberly", "foxworth", "gladstone", "havisham", "inglewood", "jorvik",
-    "kentwell", "longfellow", "marchbanks", "netherfield", "ormsby", "penhaligon",
-    "quicksilver", "ridgemont", "summerisle", "tattershall", "uxbridge", "veracruz",
-    "winterbourne", "yellowley", "zephyrine", "aldercroft", "bramblewood", "copperfield",
-    "dovetail", "evermore", "fernsby", "gatwick", "heathcliff", "islington", "juniper",
-    "kingsley", "lockwood", "mistlethorpe", "nantucket", "overbrook", "pemberley",
-    "quillfeather", "rosemont", "silverton", "thistledown", "underwood", "vicarstown",
-    "whitmore", "yorkfield", "zedler",
+    "ashford",
+    "blackwell",
+    "crane",
+    "dunmore",
+    "elbaz",
+    "fenwick",
+    "grimaldi",
+    "holloway",
+    "ingram",
+    "jarvis",
+    "kessler",
+    "lockhart",
+    "merriweather",
+    "northgate",
+    "okafor",
+    "pemberton",
+    "quill",
+    "ravenscroft",
+    "silvestri",
+    "thackeray",
+    "underhill",
+    "vantassel",
+    "whitlock",
+    "yardley",
+    "zacharias",
+    "abernathy",
+    "bellweather",
+    "calloway",
+    "driscoll",
+    "eastmoor",
+    "farrington",
+    "goldsmith",
+    "harrowgate",
+    "ivanson",
+    "jessup",
+    "kirkbride",
+    "lanester",
+    "mcallister",
+    "nightingale",
+    "osgood",
+    "prendergast",
+    "quimby",
+    "rockwell",
+    "sandoval",
+    "tremaine",
+    "upshaw",
+    "vanderbilt",
+    "westerfield",
+    "yancey",
+    "zimmerle",
+    "applegate",
+    "birchwood",
+    "colfax",
+    "darrow",
+    "ellsworth",
+    "fairbanks",
+    "greenholt",
+    "hollister",
+    "ironwood",
+    "jagger",
+    "knolls",
+    "larkspur",
+    "montclair",
+    "norwood",
+    "oakhurst",
+    "pinewhistle",
+    "quarry",
+    "redfern",
+    "stonebridge",
+    "thornfield",
+    "umberto",
+    "vexley",
+    "wyndham",
+    "yarrow",
+    "zeller",
+    "ashcombe",
+    "brackenridge",
+    "cresswell",
+    "dunwiddie",
+    "emberly",
+    "foxworth",
+    "gladstone",
+    "havisham",
+    "inglewood",
+    "jorvik",
+    "kentwell",
+    "longfellow",
+    "marchbanks",
+    "netherfield",
+    "ormsby",
+    "penhaligon",
+    "quicksilver",
+    "ridgemont",
+    "summerisle",
+    "tattershall",
+    "uxbridge",
+    "veracruz",
+    "winterbourne",
+    "yellowley",
+    "zephyrine",
+    "aldercroft",
+    "bramblewood",
+    "copperfield",
+    "dovetail",
+    "evermore",
+    "fernsby",
+    "gatwick",
+    "heathcliff",
+    "islington",
+    "juniper",
+    "kingsley",
+    "lockwood",
+    "mistlethorpe",
+    "nantucket",
+    "overbrook",
+    "pemberley",
+    "quillfeather",
+    "rosemont",
+    "silverton",
+    "thistledown",
+    "underwood",
+    "vicarstown",
+    "whitmore",
+    "yorkfield",
+    "zedler",
 ];
 
 pub(crate) const TITLE_ADJECTIVES: &[&str] = &[
-    "crimson", "silent", "forgotten", "electric", "midnight", "golden", "savage", "hidden",
-    "burning", "frozen", "restless", "shattered", "velvet", "hollow", "radiant", "broken",
+    "crimson",
+    "silent",
+    "forgotten",
+    "electric",
+    "midnight",
+    "golden",
+    "savage",
+    "hidden",
+    "burning",
+    "frozen",
+    "restless",
+    "shattered",
+    "velvet",
+    "hollow",
+    "radiant",
+    "broken",
 ];
 
 pub(crate) const TITLE_NOUNS: &[&str] = &[
-    "horizon", "empire", "reckoning", "garden", "covenant", "voyage", "labyrinth", "sentinel",
-    "harvest", "monolith", "paradox", "tempest", "masquerade", "citadel", "orchard", "eclipse",
+    "horizon",
+    "empire",
+    "reckoning",
+    "garden",
+    "covenant",
+    "voyage",
+    "labyrinth",
+    "sentinel",
+    "harvest",
+    "monolith",
+    "paradox",
+    "tempest",
+    "masquerade",
+    "citadel",
+    "orchard",
+    "eclipse",
 ];
 
 pub(crate) const TOPIC_WORDS: &[&str] = &[
-    "adaptive", "indexing", "distributed", "query", "optimization", "streaming", "transactional",
-    "graph", "keyword", "search", "ranking", "caching", "parallel", "consensus", "columnar",
-    "storage", "sampling", "learned", "approximate", "federated", "temporal", "spatial",
-    "provenance", "compression", "vectorized",
+    "adaptive",
+    "indexing",
+    "distributed",
+    "query",
+    "optimization",
+    "streaming",
+    "transactional",
+    "graph",
+    "keyword",
+    "search",
+    "ranking",
+    "caching",
+    "parallel",
+    "consensus",
+    "columnar",
+    "storage",
+    "sampling",
+    "learned",
+    "approximate",
+    "federated",
+    "temporal",
+    "spatial",
+    "provenance",
+    "compression",
+    "vectorized",
 ];
 
 pub(crate) const COMPANY_WORDS: &[&str] = &[
-    "titanfall", "silverlake", "northwind", "ironbridge", "bluecrest", "stormlight",
-    "eastgate", "redwood", "clearwater", "monarch",
+    "titanfall",
+    "silverlake",
+    "northwind",
+    "ironbridge",
+    "bluecrest",
+    "stormlight",
+    "eastgate",
+    "redwood",
+    "clearwater",
+    "monarch",
 ];
 
 pub(crate) const CONFERENCE_NAMES: &[&str] = &[
-    "symposium on data engineering", "conference on very large databases",
-    "workshop on keyword search", "conference on information management",
-    "symposium on database theory", "conference on web data", "workshop on graph systems",
-    "conference on knowledge discovery", "symposium on storage systems",
-    "workshop on query processing", "conference on distributed data",
+    "symposium on data engineering",
+    "conference on very large databases",
+    "workshop on keyword search",
+    "conference on information management",
+    "symposium on database theory",
+    "conference on web data",
+    "workshop on graph systems",
+    "conference on knowledge discovery",
+    "symposium on storage systems",
+    "workshop on query processing",
+    "conference on distributed data",
     "symposium on information retrieval",
 ];
 

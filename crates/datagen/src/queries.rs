@@ -139,7 +139,11 @@ fn imdb_query(data: &ImdbData, pattern: QueryPattern, rng: &mut StdRng) -> Optio
             }
             let mut seed_tuples = people;
             seed_tuples.push(movie);
-            Some(LabeledQuery { keywords, pattern, seed_tuples })
+            Some(LabeledQuery {
+                keywords,
+                pattern,
+                seed_tuples,
+            })
         }
     }
 }
@@ -185,7 +189,11 @@ fn dblp_query(data: &DblpData, pattern: QueryPattern, rng: &mut StdRng) -> Optio
             }
             let mut seed_tuples = authors;
             seed_tuples.push(paper);
-            Some(LabeledQuery { keywords, pattern, seed_tuples })
+            Some(LabeledQuery {
+                keywords,
+                pattern,
+                seed_tuples,
+            })
         }
     }
 }
@@ -330,7 +338,10 @@ mod tests {
             .iter()
             .filter(|q| q.pattern == QueryPattern::DistantPair)
             .count();
-        let triple = qs.iter().filter(|q| q.pattern == QueryPattern::Triple).count();
+        let triple = qs
+            .iter()
+            .filter(|q| q.pattern == QueryPattern::Triple)
+            .count();
         assert!(distant >= 40, "≈50% distant, got {distant}");
         assert!(triple >= 12, "≈20% triple, got {triple}");
     }

@@ -30,13 +30,18 @@ impl SampledDatabase {
 /// ("uniform samples of the original datasets, with the size of each being
 /// 10% of the original").
 pub fn sample_database(db: &Database, fraction: f64, seed: u64) -> SampledDatabase {
-    assert!((0.0..=1.0).contains(&fraction), "fraction must lie in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "fraction must lie in [0, 1]"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = Database::new();
     // Recreate schemas in order (table ids are preserved).
     for t in db.table_ids() {
         let schema = db.schema(t).expect("table exists").clone();
-        let nt = out.add_table(schema);
+        let nt = out
+            .add_table(schema)
+            .expect("sampling a validated database");
         debug_assert_eq!(nt, t);
     }
     let mut kept: HashMap<TupleId, TupleId> = HashMap::new();
@@ -108,10 +113,7 @@ mod tests {
         let d = data();
         let s = sample_database(&d.db, 0.3, 5);
         for (&old, &new) in s.kept.iter().take(50) {
-            assert_eq!(
-                d.db.tuple_text(old).unwrap(),
-                s.db.tuple_text(new).unwrap()
-            );
+            assert_eq!(d.db.tuple_text(old).unwrap(), s.db.tuple_text(new).unwrap());
             assert_eq!(old.table, new.table);
         }
     }

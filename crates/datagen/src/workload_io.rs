@@ -25,7 +25,12 @@ pub fn save_workload(queries: &[LabeledQuery], out: &mut impl Write) -> io::Resu
             .iter()
             .map(|t| format!("{}:{}", t.table.0, t.row))
             .collect();
-        writeln!(out, "{pattern}\t{}\t{}", q.keywords.join(" "), seeds.join(" "))?;
+        writeln!(
+            out,
+            "{pattern}\t{}\t{}",
+            q.keywords.join(" "),
+            seeds.join(" ")
+        )?;
     }
     Ok(())
 }
@@ -55,11 +60,19 @@ pub fn load_workload(input: &mut impl BufRead) -> Result<Vec<LabeledQuery>, Stri
             let (t, r) = s
                 .split_once(':')
                 .ok_or_else(|| format!("line {}: seed must be table:row", no + 1))?;
-            let table: u16 = t.parse().map_err(|_| format!("line {}: bad table id", no + 1))?;
-            let row: u32 = r.parse().map_err(|_| format!("line {}: bad row id", no + 1))?;
+            let table: u16 = t
+                .parse()
+                .map_err(|_| format!("line {}: bad table id", no + 1))?;
+            let row: u32 = r
+                .parse()
+                .map_err(|_| format!("line {}: bad row id", no + 1))?;
             seed_tuples.push(TupleId::new(TableId(table), row));
         }
-        out.push(LabeledQuery { keywords, pattern, seed_tuples });
+        out.push(LabeledQuery {
+            keywords,
+            pattern,
+            seed_tuples,
+        });
     }
     Ok(out)
 }
@@ -86,7 +99,7 @@ fn parse_pattern(s: &str) -> Option<QueryPattern> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{generate_dblp, dblp_workload, DblpConfig};
+    use crate::{dblp_workload, generate_dblp, DblpConfig};
 
     #[test]
     fn roundtrip_generated_workload() {

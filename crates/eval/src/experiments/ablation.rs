@@ -29,7 +29,10 @@ pub fn run(cfg: &EvalConfig) -> Table {
             "avg importance / size",
             Ranker::Alternative(AlternativeScore::AvgImportancePerSize),
         ),
-        ("hybrid (0.5 CI + 0.5 SPARK)", Ranker::Hybrid { ci_weight: 0.5 }),
+        (
+            "hybrid (0.5 CI + 0.5 SPARK)",
+            Ranker::Hybrid { ci_weight: 0.5 },
+        ),
     ];
     let ranker_list: Vec<Ranker> = rankers.iter().map(|&(_, r)| r).collect();
     let res = h.effectiveness(&h.dblp_engine, &h.dblp.truth, &h.dblp_queries, &ranker_list);
@@ -55,7 +58,10 @@ mod tests {
 
     #[test]
     fn rwmp_dominates_the_rejected_alternatives() {
-        let cfg = EvalConfig { scale: EvalScale::Smoke, seed: 19 };
+        let cfg = EvalConfig {
+            scale: EvalScale::Smoke,
+            seed: 19,
+        };
         let t = run(&cfg);
         assert_eq!(t.rows.len(), 5);
         let mrr = |i: usize| t.rows[i][1].parse::<f64>().unwrap();

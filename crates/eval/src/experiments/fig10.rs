@@ -114,7 +114,10 @@ mod tests {
 
     #[test]
     fn produces_timings_for_both_datasets_at_every_scale() {
-        let cfg = EvalConfig { scale: EvalScale::Smoke, seed: 17 };
+        let cfg = EvalConfig {
+            scale: EvalScale::Smoke,
+            seed: 17,
+        };
         let t = run(&cfg);
         assert_eq!(t.rows.len(), 2 * FACTORS.len());
         for r in &t.rows {

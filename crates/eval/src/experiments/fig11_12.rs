@@ -27,7 +27,10 @@ use crate::table::Table;
 pub const DIAMETERS: &[u32] = &[4, 5, 6];
 
 fn exact_cfg(cfg: &EvalConfig) -> EvalConfig {
-    EvalConfig { scale: EvalScale::Smoke, seed: cfg.seed }
+    EvalConfig {
+        scale: EvalScale::Smoke,
+        seed: cfg.seed,
+    }
 }
 
 /// Fig. 11: IMDB.
@@ -119,7 +122,10 @@ mod tests {
 
     #[test]
     fn rows_per_diameter_on_dblp() {
-        let cfg = EvalConfig { scale: EvalScale::Smoke, seed: 23 };
+        let cfg = EvalConfig {
+            scale: EvalScale::Smoke,
+            seed: 23,
+        };
         let t = run_dblp(&cfg);
         assert_eq!(t.rows.len(), DIAMETERS.len());
         for r in &t.rows {

@@ -66,7 +66,10 @@ mod tests {
 
     #[test]
     fn sweep_produces_a_row_per_alpha() {
-        let cfg = EvalConfig { scale: EvalScale::Smoke, seed: 5 };
+        let cfg = EvalConfig {
+            scale: EvalScale::Smoke,
+            seed: 5,
+        };
         let t = run(&cfg);
         assert_eq!(t.rows.len(), ALPHAS.len());
         for r in &t.rows {

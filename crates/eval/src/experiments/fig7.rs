@@ -26,9 +26,8 @@ pub fn run(cfg: &EvalConfig) -> Table {
             Harness::imdb_engine_config(&base.imdb, &|c| c.g = g),
         )
         .expect("non-empty data");
-        let dblp_engine =
-            Engine::build(&base.dblp.db, Harness::dblp_engine_config(&|c| c.g = g))
-                .expect("non-empty data");
+        let dblp_engine = Engine::build(&base.dblp.db, Harness::dblp_engine_config(&|c| c.g = g))
+            .expect("non-empty data");
         let mrr_imdb = effectiveness(
             &imdb_engine,
             &base.imdb.truth,
@@ -63,7 +62,10 @@ mod tests {
 
     #[test]
     fn sweep_produces_a_row_per_g() {
-        let cfg = EvalConfig { scale: EvalScale::Smoke, seed: 5 };
+        let cfg = EvalConfig {
+            scale: EvalScale::Smoke,
+            seed: 5,
+        };
         let t = run(&cfg);
         assert_eq!(t.rows.len(), GS.len());
     }

@@ -3,23 +3,35 @@
 //! corresponding rows/series. See DESIGN.md for the experiment index and
 //! EXPERIMENTS.md for recorded paper-vs-measured values.
 
+// LINT-EXEMPT(experiment-driver): these modules are offline reproduction
+// drivers over generator-controlled data, the moral equivalent of the
+// benches/datagen code the lint wall already exempts. A panic here aborts
+// one experiment run; it cannot take down a search. The library surface of
+// ci-eval (setup, judge, table, stats) stays fully linted.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
+
 pub mod ablation;
-pub mod patterns;
 pub mod fig10;
 pub mod fig11_12;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8_9;
+pub mod patterns;
 pub mod table1;
 pub mod table2;
 
 pub use ablation::run as ablation_alternatives;
-pub use patterns::run as patterns_breakdown;
 pub use fig10::run as fig10_naive_vs_bnb;
 pub use fig11_12::run_dblp as fig12_dblp_time;
 pub use fig11_12::run_imdb as fig11_imdb_time;
 pub use fig6::run as fig6_alpha;
 pub use fig7::run as fig7_g;
 pub use fig8_9::run as fig8_9_effectiveness;
+pub use patterns::run as patterns_breakdown;
 pub use table1::run as table1_benefits;
 pub use table2::run as table2_weights;

@@ -82,7 +82,10 @@ mod tests {
 
     #[test]
     fn breakdown_covers_multiple_patterns() {
-        let cfg = EvalConfig { scale: EvalScale::Smoke, seed: 29 };
+        let cfg = EvalConfig {
+            scale: EvalScale::Smoke,
+            seed: 29,
+        };
         let t = run(&cfg);
         assert!(t.rows.len() >= 2, "at least two pattern buckets");
         for r in &t.rows {

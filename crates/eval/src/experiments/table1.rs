@@ -58,14 +58,23 @@ fn dblp_engine(db: &Database) -> Engine {
 fn property1() -> (f64, f64) {
     let (mut db, t) = schemas::dblp();
     let strong = db
-        .insert(t.paper, vec![Value::text("keyword search survey"), Value::int(2005)])
+        .insert(
+            t.paper,
+            vec![Value::text("keyword search survey"), Value::int(2005)],
+        )
         .unwrap();
     let weak = db
-        .insert(t.paper, vec![Value::text("keyword search note"), Value::int(2006)])
+        .insert(
+            t.paper,
+            vec![Value::text("keyword search note"), Value::int(2006)],
+        )
         .unwrap();
     for i in 0..12 {
         let c = db
-            .insert(t.paper, vec![Value::text(format!("citer {i}")), Value::int(2010)])
+            .insert(
+                t.paper,
+                vec![Value::text(format!("citer {i}")), Value::int(2010)],
+            )
             .unwrap();
         db.link(t.cites, c, strong).unwrap();
     }
@@ -86,8 +95,12 @@ fn property1() -> (f64, f64) {
 /// by a two-paper citation chain; the smaller tree must win.
 fn property2() -> (f64, f64) {
     let (mut db, t) = schemas::dblp();
-    let a1 = db.insert(t.author, vec![Value::text("alba crane")]).unwrap();
-    let a2 = db.insert(t.author, vec![Value::text("bruno quill")]).unwrap();
+    let a1 = db
+        .insert(t.author, vec![Value::text("alba crane")])
+        .unwrap();
+    let a2 = db
+        .insert(t.author, vec![Value::text("bruno quill")])
+        .unwrap();
     // Direct: both author the same paper.
     let direct = db
         .insert(t.paper, vec![Value::text("joint work"), Value::int(2001)])
@@ -95,8 +108,12 @@ fn property2() -> (f64, f64) {
     db.link(t.author_paper, a1, direct).unwrap();
     db.link(t.author_paper, a2, direct).unwrap();
     // Long: a1's solo paper cites a2's solo paper.
-    let p1 = db.insert(t.paper, vec![Value::text("solo one"), Value::int(2002)]).unwrap();
-    let p2 = db.insert(t.paper, vec![Value::text("solo two"), Value::int(2000)]).unwrap();
+    let p1 = db
+        .insert(t.paper, vec![Value::text("solo one"), Value::int(2002)])
+        .unwrap();
+    let p2 = db
+        .insert(t.paper, vec![Value::text("solo two"), Value::int(2000)])
+        .unwrap();
     db.link(t.author_paper, a1, p1).unwrap();
     db.link(t.author_paper, a2, p2).unwrap();
     db.link(t.cites, p1, p2).unwrap();
@@ -119,13 +136,23 @@ fn property2() -> (f64, f64) {
 /// different citation counts; the tree through the cited connector wins.
 fn property3() -> (f64, f64) {
     let (mut db, t) = schemas::dblp();
-    let a1 = db.insert(t.author, vec![Value::text("alba crane")]).unwrap();
-    let a2 = db.insert(t.author, vec![Value::text("bruno quill")]).unwrap();
+    let a1 = db
+        .insert(t.author, vec![Value::text("alba crane")])
+        .unwrap();
+    let a2 = db
+        .insert(t.author, vec![Value::text("bruno quill")])
+        .unwrap();
     let famous = db
-        .insert(t.paper, vec![Value::text("famous connector"), Value::int(1995)])
+        .insert(
+            t.paper,
+            vec![Value::text("famous connector"), Value::int(1995)],
+        )
         .unwrap();
     let obscure = db
-        .insert(t.paper, vec![Value::text("obscure connector"), Value::int(1996)])
+        .insert(
+            t.paper,
+            vec![Value::text("obscure connector"), Value::int(1996)],
+        )
         .unwrap();
     for p in [famous, obscure] {
         db.link(t.author_paper, a1, p).unwrap();
@@ -133,7 +160,10 @@ fn property3() -> (f64, f64) {
     }
     for i in 0..15 {
         let c = db
-            .insert(t.paper, vec![Value::text(format!("citer {i}")), Value::int(2010)])
+            .insert(
+                t.paper,
+                vec![Value::text(format!("citer {i}")), Value::int(2010)],
+            )
             .unwrap();
         db.link(t.cites, c, famous).unwrap();
     }
@@ -154,28 +184,49 @@ fn property3() -> (f64, f64) {
 fn property4() -> (f64, f64) {
     let (mut db, t) = schemas::imdb();
     // The relevant single node.
-    let wilson_cruz = db.insert(t.actor, vec![Value::text("wilson cruz")]).unwrap();
+    let wilson_cruz = db
+        .insert(t.actor, vec![Value::text("wilson cruz")])
+        .unwrap();
     let some_movie = db
-        .insert(t.movie, vec![Value::text("ordinary feature"), Value::int(2003)])
+        .insert(
+            t.movie,
+            vec![Value::text("ordinary feature"), Value::int(2003)],
+        )
         .unwrap();
     db.link(t.actor_movie, wilson_cruz, some_movie).unwrap();
     // The irrelevant tree: movie "charlie wilson s war" — star actor —
     // tribute movie — actress "penelope cruz".
     let war = db
-        .insert(t.movie, vec![Value::text("charlie wilson s war"), Value::int(2007)])
+        .insert(
+            t.movie,
+            vec![Value::text("charlie wilson s war"), Value::int(2007)],
+        )
         .unwrap();
-    let star = db.insert(t.actor, vec![Value::text("tomas hanksen")]).unwrap();
+    let star = db
+        .insert(t.actor, vec![Value::text("tomas hanksen")])
+        .unwrap();
     let tribute = db
-        .insert(t.movie, vec![Value::text("tribute to heroes"), Value::int(2001)])
+        .insert(
+            t.movie,
+            vec![Value::text("tribute to heroes"), Value::int(2001)],
+        )
         .unwrap();
-    let cruz = db.insert(t.actress, vec![Value::text("penelope cruz")]).unwrap();
+    let cruz = db
+        .insert(t.actress, vec![Value::text("penelope cruz")])
+        .unwrap();
     db.link(t.actor_movie, star, war).unwrap();
     db.link(t.actor_movie, star, tribute).unwrap();
     db.link(t.actress_movie, cruz, tribute).unwrap();
     // Make the star actor enormously important.
     for i in 0..25 {
         let m = db
-            .insert(t.movie, vec![Value::text(format!("blockbuster {i}")), Value::int(1990 + i)])
+            .insert(
+                t.movie,
+                vec![
+                    Value::text(format!("blockbuster {i}")),
+                    Value::int(1990 + i),
+                ],
+            )
             .unwrap();
         db.link(t.actor_movie, star, m).unwrap();
     }

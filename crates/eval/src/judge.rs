@@ -60,7 +60,8 @@ impl Verdict {
     pub fn grade_of(&self, key: &TreeKey) -> f64 {
         self.grade_index
             .get(key)
-            .map(|&i| self.grades[i])
+            .and_then(|&i| self.grades.get(i))
+            .copied()
             .unwrap_or(0.0)
     }
 }
@@ -96,26 +97,33 @@ pub fn judge_pool(
             .map(|(i, &u)| {
                 // Sum of three uniforms ≈ bell-shaped noise around 1.
                 let noise = 1.0
-                    + cfg.noise * ((rng.gen::<f64>() + rng.gen::<f64>() + rng.gen::<f64>()) * 2.0 / 3.0 - 1.0);
+                    + cfg.noise
+                        * ((rng.gen::<f64>() + rng.gen::<f64>() + rng.gen::<f64>()) * 2.0 / 3.0
+                            - 1.0);
                 (i, u * noise)
             })
             .max_by(|a, b| a.1.total_cmp(&b.1))
-            .map(|(i, _)| i)
-            .expect("non-empty pool");
-        votes[favourite] += 1;
+            .map_or(0, |(i, _)| i);
+        if let Some(v) = votes.get_mut(favourite) {
+            *v += 1;
+        }
     }
-    let top_votes = *votes.iter().max().expect("non-empty pool");
+    let top_votes = votes.iter().copied().max().unwrap_or(0);
     let keys: Vec<TreeKey> = pool.iter().map(|a| a.tree.canonical_key()).collect();
     // Plurality winners, plus the paper's tie rule with a perception
     // tolerance: answers a human panel could not distinguish from the
     // best (within 2% of the maximal utility) all count as best.
     let best: HashSet<TreeKey> = votes
         .iter()
-        .enumerate()
-        .filter(|&(i, &v)| v == top_votes || utilities[i] >= 0.98 * max_u)
-        .map(|(i, _)| keys[i].clone())
+        .zip(&utilities)
+        .zip(&keys)
+        .filter(|&((&v, &u), _)| v == top_votes || u >= 0.98 * max_u)
+        .map(|(_, k)| k.clone())
         .collect();
-    let grades = utilities.iter().map(|&u| (u / max_u).clamp(0.0, 1.0)).collect();
+    let grades = utilities
+        .iter()
+        .map(|&u| (u / max_u).clamp(0.0, 1.0))
+        .collect();
     Verdict::build(best, grades, keys)
 }
 
@@ -185,10 +193,16 @@ mod tests {
         let a1 = db.insert(t.author, vec![Value::text("ada crane")]).unwrap();
         let a2 = db.insert(t.author, vec![Value::text("bo quill")]).unwrap();
         let p1 = db
-            .insert(t.paper, vec![Value::text("minor workshop note"), Value::int(2001)])
+            .insert(
+                t.paper,
+                vec![Value::text("minor workshop note"), Value::int(2001)],
+            )
             .unwrap();
         let p2 = db
-            .insert(t.paper, vec![Value::text("landmark result"), Value::int(2002)])
+            .insert(
+                t.paper,
+                vec![Value::text("landmark result"), Value::int(2002)],
+            )
             .unwrap();
         for p in [p1, p2] {
             db.link(t.author_paper, a1, p).unwrap();
@@ -201,7 +215,10 @@ mod tests {
         truth.set(p2, 40.0);
         let engine = Engine::build(
             &db,
-            CiRankConfig { weights: WeightConfig::dblp_default(), ..Default::default() },
+            CiRankConfig {
+                weights: WeightConfig::dblp_default(),
+                ..Default::default()
+            },
         )
         .unwrap();
         (engine, truth, vec!["crane".into(), "quill".into()])
@@ -224,7 +241,9 @@ mod tests {
                     .any(|&v| engine.node_text(v).contains("landmark"))
             })
             .unwrap();
-        assert!(verdict.best.contains(&pool[landmark_idx].tree.canonical_key()));
+        assert!(verdict
+            .best
+            .contains(&pool[landmark_idx].tree.canonical_key()));
         // Grades: landmark answer gets grade 1.0, the other strictly less.
         assert_eq!(verdict.grades[landmark_idx], 1.0);
         let other = 1 - landmark_idx;
@@ -255,7 +274,11 @@ mod tests {
         let pool = engine.candidate_pool("crane quill", 10).unwrap();
         // With huge noise, judges sometimes pick the weak answer; the
         // verdict still returns at least one best.
-        let cfg = JudgeConfig { noise: 50.0, seed: 3, ..Default::default() };
+        let cfg = JudgeConfig {
+            noise: 50.0,
+            seed: 3,
+            ..Default::default()
+        };
         let v = judge_pool(&engine, &truth, &kw, &pool, &cfg);
         assert!(!v.best.is_empty());
         assert!(v.best.len() <= pool.len());

@@ -31,7 +31,10 @@ pub struct EvalConfig {
 
 impl Default for EvalConfig {
     fn default() -> Self {
-        EvalConfig { scale: EvalScale::Standard, seed: 42 }
+        EvalConfig {
+            scale: EvalScale::Standard,
+            seed: 42,
+        }
     }
 }
 
@@ -155,8 +158,14 @@ impl Harness {
     pub fn build_with(cfg: EvalConfig, tweak: impl Fn(&mut CiRankConfig)) -> Harness {
         let imdb = generate_imdb(cfg.imdb());
         let dblp = generate_dblp(cfg.dblp());
+        // LINT-EXEMPT(harness): the generators always emit non-empty
+        // databases, and an eval harness that cannot build its engines has
+        // nothing sensible to degrade to — fail fast with the build error.
+        #[allow(clippy::expect_used)]
         let imdb_engine = Engine::build(&imdb.db, Self::imdb_engine_config(&imdb, &tweak))
             .expect("generated data is non-empty");
+        // LINT-EXEMPT(harness): same as the IMDB engine above.
+        #[allow(clippy::expect_used)]
         let dblp_engine = Engine::build(&dblp.db, Self::dblp_engine_config(&tweak))
             .expect("generated data is non-empty");
         let imdb_user_log =
@@ -173,7 +182,10 @@ impl Harness {
             imdb_user_log,
             imdb_synthetic,
             dblp_queries,
-            judge: JudgeConfig { seed: cfg.seed.wrapping_add(4), ..Default::default() },
+            judge: JudgeConfig {
+                seed: cfg.seed.wrapping_add(4),
+                ..Default::default()
+            },
         }
     }
 
@@ -183,10 +195,7 @@ impl Harness {
     /// synthetic data can make exact pool generation arbitrarily slow,
     /// and the ranking comparison only needs a deep-enough common pool.
     /// Efficiency experiments override the cap through `tweak`.
-    pub fn imdb_engine_config(
-        imdb: &ImdbData,
-        tweak: &impl Fn(&mut CiRankConfig),
-    ) -> CiRankConfig {
+    pub fn imdb_engine_config(imdb: &ImdbData, tweak: &impl Fn(&mut CiRankConfig)) -> CiRankConfig {
         let mut c = CiRankConfig {
             weights: WeightConfig::imdb_default(),
             merge: Some(MergeSpec::over(vec![
@@ -222,7 +231,14 @@ impl Harness {
         queries: &[LabeledQuery],
         rankers: &[Ranker],
     ) -> Vec<Effectiveness> {
-        effectiveness(engine, truth, queries, rankers, self.cfg.pool_k(), &self.judge)
+        effectiveness(
+            engine,
+            truth,
+            queries,
+            rankers,
+            self.cfg.pool_k(),
+            &self.judge,
+        )
     }
 }
 
@@ -248,20 +264,29 @@ pub fn effectiveness(
         }
         let verdict = judge_pool(engine, truth, &q.keywords, &pool, judge);
         for (ri, &ranker) in rankers.iter().enumerate() {
-            let ranked = engine
-                .rank(&query, &pool, ranker)
-                .expect("query already parsed");
+            // The pool came from the same engine, so ranking can only fail
+            // if the query text stopped parsing — skip the data point.
+            let Ok(ranked) = engine.rank(&query, &pool, ranker) else {
+                continue;
+            };
             let trees: Vec<Jtt> = ranked.iter().map(|a| a.tree.clone()).collect();
-            rrs[ri].push(reciprocal_rank(&trees, &verdict.best));
+            if let Some(rr) = rrs.get_mut(ri) {
+                rr.push(reciprocal_rank(&trees, &verdict.best));
+            }
             let top: Vec<Jtt> = trees.into_iter().take(5).collect();
-            precs[ri].push(graded_precision(&top, |t| verdict.grade_of(&t.canonical_key())));
+            if let Some(pr) = precs.get_mut(ri) {
+                pr.push(graded_precision(&top, |t| {
+                    verdict.grade_of(&t.canonical_key())
+                }));
+            }
         }
     }
-    (0..rankers.len())
-        .map(|ri| Effectiveness {
-            mrr: mean(&rrs[ri]),
-            precision: mean(&precs[ri]),
-            evaluated: rrs[ri].len(),
+    rrs.iter()
+        .zip(&precs)
+        .map(|(rr, pr)| Effectiveness {
+            mrr: mean(rr),
+            precision: mean(pr),
+            evaluated: rr.len(),
         })
         .collect()
 }
@@ -271,7 +296,10 @@ mod tests {
     use super::*;
 
     fn smoke() -> EvalConfig {
-        EvalConfig { scale: EvalScale::Smoke, seed: 7 }
+        EvalConfig {
+            scale: EvalScale::Smoke,
+            seed: 7,
+        }
     }
 
     #[test]
@@ -298,7 +326,10 @@ mod tests {
         // The headline claim (Fig. 8's synthetic columns): CI-Rank's MRR
         // exceeds SPARK's and BANKS's on workloads with free connector
         // nodes.
-        let h = Harness::build(EvalConfig { scale: EvalScale::Smoke, seed: 11 });
+        let h = Harness::build(EvalConfig {
+            scale: EvalScale::Smoke,
+            seed: 11,
+        });
         let res = h.effectiveness(
             &h.dblp_engine,
             &h.dblp.truth,
@@ -327,8 +358,14 @@ mod tests {
 
     #[test]
     fn scale_factors_grow() {
-        let smoke = EvalConfig { scale: EvalScale::Smoke, seed: 1 };
-        let std = EvalConfig { scale: EvalScale::Standard, seed: 1 };
+        let smoke = EvalConfig {
+            scale: EvalScale::Smoke,
+            seed: 1,
+        };
+        let std = EvalConfig {
+            scale: EvalScale::Standard,
+            seed: 1,
+        };
         assert!(std.imdb().movies > smoke.imdb().movies);
         assert!(std.dblp().papers > smoke.dblp().papers);
     }

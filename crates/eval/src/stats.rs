@@ -29,15 +29,18 @@ pub fn graph_stats(graph: &Graph) -> GraphStats {
     let mut degrees: Vec<usize> = graph.nodes().map(|v| graph.out_degree(v)).collect();
     degrees.sort_unstable();
     let max_degree = degrees.last().copied().unwrap_or(0);
-    let p99_degree = if degrees.is_empty() {
-        0
-    } else {
-        degrees[(degrees.len() - 1).min(degrees.len() * 99 / 100)]
-    };
+    let p99_degree = degrees
+        .get((degrees.len().saturating_sub(1)).min(degrees.len() * 99 / 100))
+        .copied()
+        .unwrap_or(0);
     GraphStats {
         nodes,
         edges,
-        avg_degree: if nodes == 0 { 0.0 } else { edges as f64 / nodes as f64 },
+        avg_degree: if nodes == 0 {
+            0.0
+        } else {
+            edges as f64 / nodes as f64
+        },
         max_degree,
         p99_degree,
     }

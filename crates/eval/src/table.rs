@@ -49,12 +49,15 @@ impl fmt::Display for Table {
         let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
         for r in &self.rows {
             for (i, c) in r.iter().enumerate() {
-                widths[i] = widths[i].max(c.len());
+                if let Some(w) = widths.get_mut(i) {
+                    *w = (*w).max(c.len());
+                }
             }
         }
         let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
             for (i, c) in cells.iter().enumerate() {
-                write!(f, "| {:width$} ", c, width = widths[i])?;
+                let width = widths.get(i).copied().unwrap_or(0);
+                write!(f, "| {c:width$} ")?;
             }
             writeln!(f, "|")
         };

@@ -22,8 +22,17 @@ impl GraphBuilder {
     }
 
     /// Adds a node with a relation tag and the tuples it represents.
+    ///
+    /// Panics if the node count would overflow the `u32` id space of the
+    /// CSR representation.
     pub fn add_node(&mut self, relation: u16, tuples: Vec<TupleId>) -> NodeId {
-        let id = NodeId(self.node_tuples.len() as u32);
+        // LINT-EXEMPT(capacity): a graph with 2^32 nodes cannot be
+        // represented in the u32-indexed CSR arrays; aborting is the only
+        // sound response, and the checked conversion (instead of an `as`
+        // cast) makes the overflow loud instead of silently wrapping ids.
+        #[allow(clippy::expect_used)]
+        let id = NodeId::from_index(self.node_tuples.len())
+            .expect("graph node count exceeds the u32 id space");
         self.node_tuples.push(tuples);
         self.node_relation.push(relation);
         id
@@ -31,7 +40,10 @@ impl GraphBuilder {
 
     /// Appends an extra tuple to an existing node (used by the person merge).
     pub fn merge_tuple(&mut self, node: NodeId, tuple: TupleId) {
-        self.node_tuples[node.idx()].push(tuple);
+        assert!(node.idx() < self.node_tuples.len(), "unknown node");
+        if let Some(tuples) = self.node_tuples.get_mut(node.idx()) {
+            tuples.push(tuple);
+        }
     }
 
     /// Adds a single directed edge with a raw weight. Weights must be
@@ -77,33 +89,50 @@ impl GraphBuilder {
 
         let mut offsets = vec![0u32; n + 1];
         for &(from, _, _) in &edges {
-            offsets[from as usize + 1] += 1;
+            if let Some(slot) = offsets.get_mut(from as usize + 1) {
+                *slot += 1;
+            }
         }
-        for i in 0..n {
-            offsets[i + 1] += offsets[i];
+        let mut acc = 0u32;
+        for slot in &mut offsets {
+            acc += *slot;
+            *slot = acc;
         }
         let targets: Vec<u32> = edges.iter().map(|e| e.1).collect();
         let weights: Vec<f64> = edges.iter().map(|e| e.2).collect();
 
-        let mut norm_weights = vec![0.0; weights.len()];
-        for v in 0..n {
-            let (a, b) = (offsets[v] as usize, offsets[v + 1] as usize);
-            let sum: f64 = weights[a..b].iter().sum();
+        let mut norm_weights = Vec::with_capacity(weights.len());
+        for span in offsets.windows(2) {
+            let &[lo, hi] = span else { continue };
+            let ws = weights.get(lo as usize..hi as usize).unwrap_or(&[]);
+            let sum: f64 = ws.iter().sum();
             if sum > 0.0 {
-                for i in a..b {
-                    norm_weights[i] = weights[i] / sum;
-                }
+                norm_weights.extend(ws.iter().map(|w| w / sum));
+            } else {
+                norm_weights.extend(std::iter::repeat_n(0.0, ws.len()));
             }
         }
 
-        Graph {
+        let graph = Graph {
             offsets,
             targets,
             weights,
             norm_weights,
             node_tuples: self.node_tuples,
             node_relation: self.node_relation,
+        };
+        // CSR well-formedness: always checked in debug builds, and in
+        // release under the `strict-invariants` feature. A violation here
+        // is a builder bug, never a data error.
+        #[cfg(any(debug_assertions, feature = "strict-invariants"))]
+        {
+            let well_formed = graph.validate();
+            assert!(
+                well_formed.is_ok(),
+                "CSR invariant violated: {well_formed:?}"
+            );
         }
+        graph
     }
 }
 

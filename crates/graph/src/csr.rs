@@ -12,6 +12,22 @@ impl NodeId {
     pub fn idx(self) -> usize {
         self.0 as usize
     }
+
+    /// Checked conversion from a container index. Returns `None` when the
+    /// index does not fit the `u32` node-id space of the CSR arrays, instead
+    /// of silently truncating the way an `as` cast would.
+    #[inline]
+    pub fn from_index(idx: usize) -> Option<NodeId> {
+        u32::try_from(idx).ok().map(NodeId)
+    }
+}
+
+/// Checked construction of a [`TupleId`] from a table and a `usize` row
+/// index. Returns `None` when the row does not fit the storage layer's
+/// `u32` row space, instead of silently truncating.
+#[inline]
+pub fn tuple_id_from_row(table: ci_storage::TableId, row: usize) -> Option<TupleId> {
+    u32::try_from(row).ok().map(|r| TupleId::new(table, r))
 }
 
 impl fmt::Display for NodeId {
@@ -57,7 +73,7 @@ impl Graph {
 
     /// Iterates all node ids.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
-        (0..self.node_count() as u32).map(NodeId)
+        (0..self.node_count()).filter_map(NodeId::from_index)
     }
 
     /// Out-degree of a node.
@@ -69,11 +85,18 @@ impl Graph {
     /// Outgoing edges of `v`, sorted by target id.
     pub fn edges(&self, v: NodeId) -> impl Iterator<Item = EdgeRef> + '_ {
         let (a, b) = self.range(v);
-        (a..b).map(move |i| EdgeRef {
-            to: NodeId(self.targets[i]),
-            weight: self.weights[i],
-            norm_weight: self.norm_weights[i],
-        })
+        let targets = self.targets.get(a..b).unwrap_or(&[]);
+        let weights = self.weights.get(a..b).unwrap_or(&[]);
+        let norms = self.norm_weights.get(a..b).unwrap_or(&[]);
+        targets
+            .iter()
+            .zip(weights)
+            .zip(norms)
+            .map(|((&to, &weight), &norm_weight)| EdgeRef {
+                to: NodeId(to),
+                weight,
+                norm_weight,
+            })
     }
 
     /// Neighbor node ids of `v` (targets of its out-edges). Because the
@@ -81,17 +104,23 @@ impl Graph {
     /// undirected neighborhood `N(v)` of the paper.
     pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
         let (a, b) = self.range(v);
-        self.targets[a..b].iter().map(|&t| NodeId(t))
+        self.targets
+            .get(a..b)
+            .unwrap_or(&[])
+            .iter()
+            .map(|&t| NodeId(t))
     }
 
     /// Raw weight of the directed edge `u → v`, if present.
     pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<f64> {
-        self.edge_index(u, v).map(|i| self.weights[i])
+        self.edge_index(u, v)
+            .and_then(|i| self.weights.get(i).copied())
     }
 
     /// Normalized weight of the directed edge `u → v`, if present.
     pub fn edge_norm_weight(&self, u: NodeId, v: NodeId) -> Option<f64> {
-        self.edge_index(u, v).map(|i| self.norm_weights[i])
+        self.edge_index(u, v)
+            .and_then(|i| self.norm_weights.get(i).copied())
     }
 
     /// True if the directed edge `u → v` exists.
@@ -102,34 +131,125 @@ impl Graph {
     /// The database tuples merged into this node. Usually a single tuple;
     /// multiple after a person merge (§VI-A).
     pub fn tuples(&self, v: NodeId) -> &[TupleId] {
-        &self.node_tuples[v.idx()]
+        self.node_tuples.get(v.idx()).map_or(&[], Vec::as_slice)
     }
 
     /// Relation tag of the node (table id of its primary tuple).
     pub fn relation(&self, v: NodeId) -> u16 {
-        self.node_relation[v.idx()]
+        self.node_relation.get(v.idx()).copied().unwrap_or(0)
     }
 
     /// Sum of raw weights of edges from `v` to nodes in `others` — the
     /// denominator `Σ_{v_n ∈ N(v_j) ∩ V(T)} w_jn` of the message-passing
     /// split rule.
     pub fn weight_sum_to(&self, v: NodeId, others: &[NodeId]) -> f64 {
-        others
-            .iter()
-            .filter_map(|&o| self.edge_weight(v, o))
-            .sum()
+        others.iter().filter_map(|&o| self.edge_weight(v, o)).sum()
+    }
+
+    /// Checks the CSR well-formedness invariants, returning the first
+    /// violation found:
+    ///
+    /// * the parallel edge arrays (`targets`, `weights`, `norm_weights`)
+    ///   and the per-node arrays agree in length with the offset table;
+    /// * offsets are monotone and cover exactly the edge arrays;
+    /// * every adjacency list is strictly sorted by target (binary-search
+    ///   edge lookup relies on this) with in-range targets;
+    /// * per-node normalized out-weights sum to `1 ± 1e-9` whenever the
+    ///   node has positive raw out-weight (the random walk's transition
+    ///   rows must be stochastic; all-zero rows stay all-zero).
+    ///
+    /// [`crate::GraphBuilder::build`] runs this automatically in debug
+    /// builds and under the `strict-invariants` feature. See
+    /// [`Graph::validate_paired`] for the stronger undirected-pairing
+    /// check.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.node_count();
+        let e = self.targets.len();
+        if self.weights.len() != e || self.norm_weights.len() != e {
+            return Err(format!(
+                "edge arrays disagree: {e} targets, {} weights, {} norm_weights",
+                self.weights.len(),
+                self.norm_weights.len()
+            ));
+        }
+        if self.node_tuples.len() != n || self.node_relation.len() != n {
+            return Err(format!(
+                "node arrays disagree: {n} offsets-implied nodes, {} tuples, {} relations",
+                self.node_tuples.len(),
+                self.node_relation.len()
+            ));
+        }
+        if self.offsets.first().copied().unwrap_or(u32::MAX) != 0 {
+            return Err("offset table must start at 0".to_string());
+        }
+        let mut prev = 0u32;
+        for &o in &self.offsets {
+            if o < prev {
+                return Err(format!("offset table not monotone: {o} after {prev}"));
+            }
+            prev = o;
+        }
+        if self.offsets.last().copied().unwrap_or(0) as usize != e {
+            return Err(format!(
+                "offset table ends at {prev}, but there are {e} edges"
+            ));
+        }
+        for v in self.nodes() {
+            let (a, b) = self.range(v);
+            let adj = self.targets.get(a..b).unwrap_or(&[]);
+            for w in adj.windows(2) {
+                let &[x, y] = w else { continue };
+                if x >= y {
+                    return Err(format!(
+                        "node {v}: adjacency not strictly sorted ({x} before {y})"
+                    ));
+                }
+            }
+            let mut norm_sum = 0.0f64;
+            let mut raw_sum = 0.0f64;
+            for edge in self.edges(v) {
+                if edge.to.idx() >= n {
+                    return Err(format!("node {v}: edge target {} out of range", edge.to));
+                }
+                norm_sum += edge.norm_weight;
+                raw_sum += edge.weight;
+            }
+            if b > a && raw_sum > 0.0 && (norm_sum - 1.0).abs() > 1e-9 {
+                return Err(format!(
+                    "node {v}: normalized out-weights sum to {norm_sum}, expected 1"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// [`Graph::validate`] plus the undirected-pairing invariant: every
+    /// directed edge must have its reverse. This holds for every graph the
+    /// database mapping produces (it always inserts both directions so the
+    /// paper's `N(v)` is the undirected neighborhood), but not necessarily
+    /// for hand-built graphs, which may be asymmetric.
+    pub fn validate_paired(&self) -> Result<(), String> {
+        self.validate()?;
+        for v in self.nodes() {
+            for edge in self.edges(v) {
+                if !self.has_edge(edge.to, v) {
+                    return Err(format!("edge {v} → {} lacks its reverse", edge.to));
+                }
+            }
+        }
+        Ok(())
     }
 
     fn range(&self, v: NodeId) -> (usize, usize) {
-        (
-            self.offsets[v.idx()] as usize,
-            self.offsets[v.idx() + 1] as usize,
-        )
+        let lo = self.offsets.get(v.idx()).copied().unwrap_or(0);
+        let hi = self.offsets.get(v.idx() + 1).copied().unwrap_or(lo);
+        (lo as usize, hi as usize)
     }
 
     fn edge_index(&self, u: NodeId, v: NodeId) -> Option<usize> {
         let (a, b) = self.range(u);
-        self.targets[a..b]
+        self.targets
+            .get(a..b)?
             .binary_search(&v.0)
             .ok()
             .map(|off| a + off)

@@ -20,6 +20,24 @@
 //! * traversals — bounded BFS and bounded Dijkstra used by search and
 //!   indexing.
 
+// LINT-EXEMPT(tests): the workspace lint wall (workspace Cargo.toml) bans
+// panicking constructs in library code; unit tests opt back in. Clippy still
+// checks the non-test compilation of this crate, so library violations are
+// caught even with this relaxation in place.
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::indexing_slicing,
+    )
+)]
+// Hot-path crate: lossy numeric casts and float equality are also denied
+// here (ISSUE 1); use the checked conversion helpers instead.
+#![deny(clippy::cast_possible_truncation, clippy::float_cmp)]
+#![cfg_attr(test, allow(clippy::cast_possible_truncation, clippy::float_cmp))]
+
 mod builder;
 mod csr;
 mod mapping;
@@ -27,7 +45,9 @@ mod traverse;
 mod weights;
 
 pub use builder::GraphBuilder;
-pub use csr::{EdgeRef, Graph, NodeId};
+pub use csr::{tuple_id_from_row, EdgeRef, Graph, NodeId};
 pub use mapping::{build_graph, MergeSpec};
-pub use traverse::{bfs_within, bounded_dijkstra, connected_components, hop_bounded_costs, Reached};
+pub use traverse::{
+    bfs_within, bounded_dijkstra, connected_components, hop_bounded_costs, Reached,
+};
 pub use weights::WeightConfig;

@@ -42,10 +42,12 @@ pub fn build_graph(db: &Database, weights: &WeightConfig, merge: Option<&MergeSp
     for tid in db.all_tuples() {
         let mergeable = merge.map(|m| m.contains(tid.table)).unwrap_or(false);
         if mergeable {
+            // Ids from `all_tuples` always resolve; an empty key merges
+            // nothing interesting but stays well-defined.
             let key = db
                 .tuple_text(tid)
-                .expect("tuple exists")
-                .to_lowercase();
+                .map(|t| t.to_lowercase())
+                .unwrap_or_default();
             if let Some(&existing) = merged.get(&key) {
                 builder.merge_tuple(existing, tid);
                 node_of.insert(tid, existing);
@@ -65,8 +67,13 @@ pub fn build_graph(db: &Database, weights: &WeightConfig, merge: Option<&MergeSp
         let from_table = link.def().from;
         let to_table = link.def().to;
         for &(f, t) in link.pairs() {
-            let a = node_of[&TupleId::new(from_table, f)];
-            let b = node_of[&TupleId::new(to_table, t)];
+            let (Some(&a), Some(&b)) = (
+                node_of.get(&TupleId::new(from_table, f)),
+                node_of.get(&TupleId::new(to_table, t)),
+            ) else {
+                debug_assert!(false, "link references a tuple with no node");
+                continue;
+            };
             if a == b {
                 // A merged person linked to itself (degenerate); skip.
                 continue;
@@ -75,7 +82,18 @@ pub fn build_graph(db: &Database, weights: &WeightConfig, merge: Option<&MergeSp
         }
     }
 
-    builder.build()
+    let graph = builder.build();
+    // Mapping-specific invariant: every connection was inserted as a pair,
+    // so the graph must be symmetric (the paper's `N(v)` is undirected).
+    #[cfg(any(debug_assertions, feature = "strict-invariants"))]
+    {
+        let paired = graph.validate_paired();
+        assert!(
+            paired.is_ok(),
+            "mapping produced an asymmetric graph: {paired:?}"
+        );
+    }
+    graph
 }
 
 #[cfg(test)]
@@ -97,7 +115,7 @@ mod tests {
         let g = build_graph(&db, &WeightConfig::dblp_default(), None);
         assert_eq!(g.node_count(), 3);
         assert_eq!(g.edge_count(), 4); // 2 links × 2 directions
-        // Author→paper weight 1.0 both ways (Table II).
+                                       // Author→paper weight 1.0 both ways (Table II).
         for v in g.nodes() {
             for e in g.edges(v) {
                 assert_eq!(e.weight, 1.0);
@@ -133,7 +151,9 @@ mod tests {
         let director = db
             .insert(t.director, vec![Value::text("Mel Gibson")])
             .unwrap();
-        let other = db.insert(t.actor, vec![Value::text("Sophie Marceau")]).unwrap();
+        let other = db
+            .insert(t.actor, vec![Value::text("Sophie Marceau")])
+            .unwrap();
         db.link(t.actor_movie, actor, movie).unwrap();
         db.link(t.director_movie, director, movie).unwrap();
         db.link(t.actor_movie, other, movie).unwrap();
@@ -155,9 +175,13 @@ mod tests {
     fn merge_is_case_insensitive_but_scoped_to_spec_tables() {
         let (mut db, t) = schemas::imdb();
         let a1 = db.insert(t.actor, vec![Value::text("MEL GIBSON")]).unwrap();
-        let a2 = db.insert(t.director, vec![Value::text("mel gibson")]).unwrap();
+        let a2 = db
+            .insert(t.director, vec![Value::text("mel gibson")])
+            .unwrap();
         // Same-name company should NOT merge (not in the spec).
-        let c = db.insert(t.company, vec![Value::text("Mel Gibson")]).unwrap();
+        let c = db
+            .insert(t.company, vec![Value::text("Mel Gibson")])
+            .unwrap();
         let merge = MergeSpec::over(vec![t.actor, t.director]);
         let g = build_graph(&db, &WeightConfig::imdb_default(), Some(&merge));
         assert_eq!(g.node_count(), 2);

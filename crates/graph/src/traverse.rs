@@ -34,7 +34,7 @@ pub fn bfs_within(graph: &Graph, src: NodeId, max_dist: u32) -> Vec<Reached> {
         cost: 0.0,
     }];
     while let Some(v) = queue.pop_front() {
-        let d = dist[&v.0];
+        let d = dist.get(&v.0).copied().unwrap_or(0);
         if d == max_dist {
             continue;
         }
@@ -100,7 +100,12 @@ where
     best.insert(src.0, (0.0, 0));
     while let Some(HeapEntry { cost, dist, node }) = heap.pop() {
         if let Some(&(c, d)) = best.get(&node) {
-            if cost > c || (cost == c && dist > d) {
+            let stale = match cost.total_cmp(&c) {
+                Ordering::Greater => true,
+                Ordering::Equal => dist > d,
+                Ordering::Less => false,
+            };
+            if stale {
                 continue;
             }
         }
@@ -115,7 +120,11 @@ where
             let nd = dist + 1;
             let better = match best.get(&n.0) {
                 None => true,
-                Some(&(bc, bd)) => nc < bc || (nc == bc && nd < bd),
+                Some(&(bc, bd)) => match nc.total_cmp(&bc) {
+                    Ordering::Less => true,
+                    Ordering::Equal => nd < bd,
+                    Ordering::Greater => false,
+                },
             };
             if better {
                 best.insert(n.0, (nc, nd));
@@ -161,21 +170,25 @@ where
 {
     let n = graph.node_count();
     let mut cur = vec![f64::INFINITY; n];
-    cur[src.idx()] = 0.0;
+    if let Some(slot) = cur.get_mut(src.idx()) {
+        *slot = 0.0;
+    }
     let mut hops: HashMap<u32, u32> = HashMap::from([(src.0, 0)]);
     for h in 1..=max_hops {
         let mut next = cur.clone();
         // Relax every edge leaving a node whose ≤(h−1)-hop cost is finite.
         for v in graph.nodes() {
-            let base = cur[v.idx()];
+            let base = cur.get(v.idx()).copied().unwrap_or(f64::INFINITY);
             if !base.is_finite() {
                 continue;
             }
             for e in graph.edges(v) {
                 let c = edge_cost(v, e.to);
                 debug_assert!(c >= 0.0, "edge costs must be non-negative");
-                if base + c < next[e.to.idx()] {
-                    next[e.to.idx()] = base + c;
+                if let Some(slot) = next.get_mut(e.to.idx()) {
+                    if base + c < *slot {
+                        *slot = base + c;
+                    }
                 }
                 hops.entry(e.to.0).or_insert(h);
             }
@@ -183,7 +196,10 @@ where
         cur = next;
     }
     hops.into_iter()
-        .map(|(node, d)| (node, (cur[node as usize], d)))
+        .map(|(node, d)| {
+            let cost = cur.get(node as usize).copied().unwrap_or(f64::INFINITY);
+            (node, (cost, d))
+        })
         .collect()
 }
 
@@ -194,19 +210,23 @@ pub fn connected_components(graph: &Graph) -> Vec<Vec<NodeId>> {
     let mut seen = vec![false; n];
     let mut comps = Vec::new();
     for start in graph.nodes() {
-        if seen[start.idx()] {
+        if seen.get(start.idx()).copied().unwrap_or(true) {
             continue;
         }
         let mut comp = Vec::new();
         let mut queue = VecDeque::new();
         queue.push_back(start);
-        seen[start.idx()] = true;
+        if let Some(s) = seen.get_mut(start.idx()) {
+            *s = true;
+        }
         while let Some(v) = queue.pop_front() {
             comp.push(v);
             for nb in graph.neighbors(v) {
-                if !seen[nb.idx()] {
-                    seen[nb.idx()] = true;
-                    queue.push_back(nb);
+                if let Some(s) = seen.get_mut(nb.idx()) {
+                    if !*s {
+                        *s = true;
+                        queue.push_back(nb);
+                    }
                 }
             }
         }
@@ -274,13 +294,18 @@ mod tests {
         b.add_pair(n[2], n[3], 1.0, 1.0);
         let g = b.build();
         // Entering node 2 is expensive.
-        let r = bounded_dijkstra(&g, NodeId(0), 5, |_, t| {
-            if t == NodeId(2) {
-                1.0
-            } else {
-                0.1
-            }
-        });
+        let r = bounded_dijkstra(
+            &g,
+            NodeId(0),
+            5,
+            |_, t| {
+                if t == NodeId(2) {
+                    1.0
+                } else {
+                    0.1
+                }
+            },
+        );
         let e3 = r.iter().find(|x| x.node == NodeId(3)).unwrap();
         assert!((e3.cost - 0.2).abs() < 1e-12);
         assert_eq!(e3.dist, 2);

@@ -23,7 +23,11 @@ impl NaiveIndex {
     /// (Eq. 2, supplied by the RWMP scorer); `cap` bounds the stored hop
     /// distance and should be at least the search diameter `D`.
     pub fn build(graph: &Graph, damp: &[f64], cap: u32) -> Self {
-        assert_eq!(damp.len(), graph.node_count(), "dampening vector length mismatch");
+        assert_eq!(
+            damp.len(),
+            graph.node_count(),
+            "dampening vector length mismatch"
+        );
         let d_max = damp.iter().cloned().fold(0.0f64, f64::max).min(1.0);
         let mut entries = HashMap::new();
         for u in graph.nodes() {
@@ -31,9 +35,9 @@ impl NaiveIndex {
             // among paths of ≤ cap hops (−ln d edge costs; a plain
             // Dijkstra would drop nodes whose globally cheapest path
             // exceeds the hop cap).
-            for (node, (cost, dist)) in
-                hop_bounded_costs(graph, u, cap, |_, to| -damp[to.idx()].ln())
-            {
+            for (node, (cost, dist)) in hop_bounded_costs(graph, u, cap, |_, to| {
+                -damp.get(to.idx()).copied().unwrap_or(1.0).ln()
+            }) {
                 if node == u.0 {
                     continue;
                 }
@@ -89,7 +93,7 @@ impl DistanceOracle for NaiveIndex {
             return 1.0;
         }
         match self.entries.get(&(u.0, v.0)) {
-            Some(&(_, r)) => r.min(self.damp[v.idx()]),
+            Some(&(_, r)) => r.min(self.damp.get(v.idx()).copied().unwrap_or(1.0)),
             // Any path has more than `cap` hops, each retaining ≤ d_max.
             None => self.d_max.powi(self.cap as i32 + 1),
         }
@@ -153,7 +157,10 @@ mod tests {
         let damp = vec![0.5, 0.9, 0.1, 0.5];
         let idx = NaiveIndex::build(&g, &damp, 4);
         let r = idx.retention_ub(NodeId(0), NodeId(3));
-        assert!((r - 0.9 * 0.5).abs() < 1e-12, "best path via node 1, got {r}");
+        assert!(
+            (r - 0.9 * 0.5).abs() < 1e-12,
+            "best path via node 1, got {r}"
+        );
     }
 
     #[test]
@@ -181,7 +188,10 @@ mod tests {
         let idx = NaiveIndex::build(&g, &damp, 4);
         assert_eq!(idx.distance(NodeId(0), NodeId(3)), Some(2));
         let r = idx.retention_ub(NodeId(0), NodeId(3));
-        assert!((r - 0.9 * 0.9 * 0.5).abs() < 1e-12, "detour retention, got {r}");
+        assert!(
+            (r - 0.9 * 0.9 * 0.5).abs() < 1e-12,
+            "detour retention, got {r}"
+        );
     }
 
     #[test]

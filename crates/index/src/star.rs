@@ -34,16 +34,17 @@ pub fn detect_star_relations(graph: &Graph) -> Vec<u16> {
         for v in graph.nodes() {
             *rel_nodes.entry(graph.relation(v)).or_insert(0) += 1;
         }
-        let (&best, _) = count
-            .iter()
-            .max_by_key(|&(&rel, &c)| {
-                (
-                    c,
-                    std::cmp::Reverse(rel_nodes.get(&rel).copied().unwrap_or(0)),
-                    std::cmp::Reverse(rel),
-                )
-            })
-            .expect("uncovered edges imply a candidate relation");
+        let Some((&best, _)) = count.iter().max_by_key(|&(&rel, &c)| {
+            (
+                c,
+                std::cmp::Reverse(rel_nodes.get(&rel).copied().unwrap_or(0)),
+                std::cmp::Reverse(rel),
+            )
+        }) else {
+            // Unreachable: a non-empty uncovered set always yields
+            // candidate relations. Stop rather than spin.
+            break;
+        };
         chosen.push(best);
         uncovered.retain(|&(a, b)| {
             graph.relation(NodeId(a)) != best && graph.relation(NodeId(b)) != best
@@ -89,19 +90,24 @@ impl StarIndex {
     /// If some edge touches no star node (the star property would be
     /// violated and the bounds unsound).
     pub fn build(graph: &Graph, damp: &[f64], cap: u32, star_relations: &[u16]) -> Self {
-        assert_eq!(damp.len(), graph.node_count(), "dampening vector length mismatch");
+        assert_eq!(
+            damp.len(),
+            graph.node_count(),
+            "dampening vector length mismatch"
+        );
         let rels: HashSet<u16> = star_relations.iter().copied().collect();
         let star: Vec<bool> = graph
             .nodes()
             .map(|v| rels.contains(&graph.relation(v)))
             .collect();
+        let starred = |v: NodeId| star.get(v.idx()).copied().unwrap_or(false);
         for u in graph.nodes() {
-            if star[u.idx()] {
+            if starred(u) {
                 continue;
             }
             for n in graph.neighbors(u) {
                 assert!(
-                    star[n.idx()],
+                    starred(n),
                     "star property violated: edge {u}-{n} touches no star node"
                 );
             }
@@ -109,15 +115,15 @@ impl StarIndex {
         let d_max = damp.iter().cloned().fold(0.0f64, f64::max).min(1.0);
         let mut entries = HashMap::new();
         for u in graph.nodes() {
-            if !star[u.idx()] {
+            if !starred(u) {
                 continue;
             }
             // Hop-layered DP (see NaiveIndex::build): exact hop distance
             // and best retention among ≤ cap-hop paths.
-            for (node, (cost, dist)) in
-                hop_bounded_costs(graph, u, cap, |_, to| -damp[to.idx()].ln())
-            {
-                if node == u.0 || !star[node as usize] {
+            for (node, (cost, dist)) in hop_bounded_costs(graph, u, cap, |_, to| {
+                -damp.get(to.idx()).copied().unwrap_or(1.0).ln()
+            }) {
+                if node == u.0 || !starred(NodeId(node)) {
                     continue;
                 }
                 entries.insert((u.0, node), (dist, (-cost).exp()));
@@ -134,7 +140,13 @@ impl StarIndex {
 
     /// True if the node is a star node.
     pub fn is_star(&self, v: NodeId) -> bool {
-        self.star[v.idx()]
+        self.star.get(v.idx()).copied().unwrap_or(false)
+    }
+
+    /// Dampening rate of a node (1.0 for an unknown node — neutral under
+    /// the multiplicative retention composition).
+    fn damp_of(&self, v: NodeId) -> f64 {
+        self.damp.get(v.idx()).copied().unwrap_or(1.0)
     }
 
     /// Number of stored star-node pairs.
@@ -177,10 +189,7 @@ impl StarIndex {
     }
 
     fn star_neighbors(&self, graph: &Graph, v: NodeId) -> Vec<NodeId> {
-        graph
-            .neighbors(v)
-            .filter(|n| self.star[n.idx()])
-            .collect()
+        graph.neighbors(v).filter(|&n| self.is_star(n)).collect()
     }
 }
 
@@ -226,7 +235,7 @@ impl<'g, I: std::borrow::Borrow<StarIndex>> DistanceOracle for StarOracle<'g, I>
                     .iter()
                     .map(|&h| ix.star_pair(s, h).0)
                     .min()
-                    .expect("non-empty")
+                    .unwrap_or(0)
             }
             // Case 3: both non-star — both first hops land on star nodes.
             (false, false) => {
@@ -260,7 +269,7 @@ impl<'g, I: std::borrow::Borrow<StarIndex>> DistanceOracle for StarOracle<'g, I>
             // Direct edge: the best possible retention is the destination's
             // own dampening rate (longer detours only multiply more factors
             // below 1 while still ending with d_v).
-            return ix.damp[v.idx()];
+            return ix.damp_of(v);
         }
         match (ix.is_star(u), ix.is_star(v)) {
             (true, true) => ix.star_pair(u, v).1,
@@ -274,7 +283,7 @@ impl<'g, I: std::borrow::Borrow<StarIndex>> DistanceOracle for StarOracle<'g, I>
                     .iter()
                     .map(|&h| ix.star_pair(u, h).1)
                     .fold(0.0f64, f64::max);
-                (best * ix.damp[v.idx()]).min(1.0)
+                (best * ix.damp_of(v)).min(1.0)
             }
             // Non-star u → h ⇒ ... ⇒ v: retention = d_h · ρ(h⇒v) ≤ d_h · ρ(h,v).
             (false, true) => {
@@ -283,7 +292,7 @@ impl<'g, I: std::borrow::Borrow<StarIndex>> DistanceOracle for StarOracle<'g, I>
                     return 1.0;
                 }
                 nbrs.iter()
-                    .map(|&h| ix.damp[h.idx()] * ix.star_pair(h, v).1)
+                    .map(|&h| ix.damp_of(h) * ix.star_pair(h, v).1)
                     .fold(0.0f64, f64::max)
                     .min(1.0)
             }
@@ -297,15 +306,15 @@ impl<'g, I: std::borrow::Borrow<StarIndex>> DistanceOracle for StarOracle<'g, I>
                 if nu.len() * nv.len() > PAIR_SCAN_LIMIT {
                     // Hub pair: fall back to the hop-composition bound
                     // d_max (first star hop) · d_v (destination).
-                    return (ix.d_max * ix.damp[v.idx()]).min(1.0);
+                    return (ix.d_max * ix.damp_of(v)).min(1.0);
                 }
                 let mut best = 0.0f64;
                 for &a in &nu {
                     for &b in &nv {
-                        best = best.max(ix.damp[a.idx()] * ix.star_pair(a, b).1);
+                        best = best.max(ix.damp_of(a) * ix.star_pair(a, b).1);
                     }
                 }
-                (best * ix.damp[v.idx()]).min(1.0)
+                (best * ix.damp_of(v)).min(1.0)
             }
         }
     }

@@ -2,6 +2,15 @@
 //! and the star index's bounds stay on the sound side, on random graphs
 //! with the star property.
 
+// LINT-EXEMPT(tests): integration tests may unwrap/index freely; the
+// workspace lint wall applies to library code only (ISSUE 1).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing
+)]
+
 use ci_graph::{bfs_within, Graph, GraphBuilder, NodeId};
 use ci_index::{DistanceOracle, NaiveIndex, StarIndex};
 use proptest::prelude::*;
@@ -36,7 +45,9 @@ fn star_case() -> impl Strategy<Value = StarCase> {
 
 fn build(case: &StarCase) -> (Graph, Vec<f64>) {
     let mut b = GraphBuilder::new();
-    let sats: Vec<NodeId> = (0..case.satellites).map(|_| b.add_node(0, vec![])).collect();
+    let sats: Vec<NodeId> = (0..case.satellites)
+        .map(|_| b.add_node(0, vec![]))
+        .collect();
     let hubs: Vec<NodeId> = (0..case.hubs).map(|_| b.add_node(1, vec![])).collect();
     for &(s, h, w) in &case.links {
         b.add_pair(sats[s], hubs[h], w as f64, w as f64);

@@ -1,0 +1,577 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no crates.io access, so the strategy surface
+//! this workspace actually uses is vendored here under the same paths:
+//!
+//! * integer / float range strategies (`0..n`, `1u8..=9`, `0.1f64..100.0`);
+//! * tuple strategies up to arity 6;
+//! * [`collection::vec`] with fixed or ranged sizes;
+//! * string strategies from the two regex shapes used in tests
+//!   (`"\\PC{m,n}"` and `"[class]{m,n}"`);
+//! * [`Strategy::prop_map`] / [`Strategy::prop_flat_map`];
+//! * the [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`] macros and
+//!   [`ProptestConfig`].
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case panics with the full `Debug` dump of
+//!   its inputs instead of a minimized counterexample.
+//! * **Deterministic seeding.** Case `i` of test `t` derives its RNG seed
+//!   from `(hash(t), i)`, so failures reproduce without a persistence file;
+//!   `.proptest-regressions` files are ignored.
+//! * Unsupported regex shapes are rejected at generation time with a panic
+//!   (this code only ever runs under `cargo test`).
+//!
+//! If registry access ever returns, deleting this crate and restoring
+//! `proptest = "1"` in the workspace manifest is a drop-in swap.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The RNG handed to strategies. Newtype so the public surface does not
+/// promise a particular generator.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Deterministic per-case RNG.
+    pub fn for_case(test_seed: u64, case: u64) -> Self {
+        TestRng(StdRng::seed_from_u64(
+            test_seed ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
+    }
+
+    fn gen_index(&mut self, bound: usize) -> usize {
+        self.0.gen_range(0..bound)
+    }
+
+    fn gen_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        self.0.gen_range(lo..hi)
+    }
+}
+
+/// Error type carried by `prop_assert*` failures inside a test body.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A failed assertion with the given rendered message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Runner configuration. Only the fields this workspace reads are present;
+/// construct with functional-record-update over [`ProptestConfig::default`].
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+    /// Accepted for upstream compatibility; unused (no shrinking here).
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; these property tests run whole search
+        // pipelines per case, so the shim trades a little coverage for a
+        // fast `cargo test` wall-clock.
+        ProptestConfig {
+            cases: 64,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// A generator of values of type `Value`.
+///
+/// Unlike upstream there is no shrinking tree: a strategy is just a
+/// deterministic function of the per-case RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O: fmt::Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { base: self, f }
+    }
+
+    /// Generates a value, builds a dependent strategy from it, and draws
+    /// from that.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { base: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, O: fmt::Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.base.generate(rng)).generate(rng)
+    }
+}
+
+/// Type-erased strategy, see [`Strategy::boxed`].
+pub struct BoxedStrategy<V>(Box<dyn Strategy<Value = V>>);
+
+impl<V: fmt::Debug> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.generate(rng)
+    }
+}
+
+/// Always generates a clone of the given value (upstream `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<V>(pub V);
+
+impl<V: fmt::Debug + Clone> Strategy for Just<V> {
+    type Value = V;
+    fn generate(&self, _rng: &mut TestRng) -> V {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy {self:?}");
+                let span = self.end.abs_diff(self.start) as usize;
+                let off = rng.gen_index(span);
+                self.start.wrapping_add(off as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy {self:?}");
+                let span = hi.abs_diff(lo) as usize;
+                let off = rng.gen_index(span + 1);
+                lo.wrapping_add(off as $t)
+            }
+        }
+    )*};
+}
+
+// usize spans here stay far below 2^53, so the index draw is exact.
+int_range_strategy!(u8, u16, u32, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy {self:?}");
+        rng.gen_f64(self.start, self.end)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($n:ident),+))*) => {$(
+        impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+            type Value = ($($n::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)] // reusing the type parameter names as bindings
+                let ($($n,)+) = self;
+                ($($n.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// `&str` regex-like string strategies. Supported shapes: `\PC{m,n}` (any
+/// printable character) and `[class]{m,n}` with literal characters and
+/// `a-z` ranges; `{n}` fixes the length. This covers every pattern in the
+/// workspace test suite; anything else panics with a clear message.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        strings::generate_pattern(self, rng)
+    }
+}
+
+// LINT-EXEMPT(test-infrastructure): pattern generation only ever runs inside
+// `cargo test`; a malformed pattern is a bug in the calling test and the
+// clearest failure mode is an immediate panic naming that pattern. Indexing
+// is over alphabets whose bounds are established in the same function.
+#[allow(
+    clippy::panic,
+    clippy::indexing_slicing,
+    clippy::unwrap_used,
+    clippy::expect_used
+)]
+mod strings {
+    use super::TestRng;
+
+    // A printable-character pool for `\PC`: ASCII printable plus a few
+    // multi-byte code points so UTF-8 boundary handling gets exercised.
+    const PRINTABLE_EXTRA: [char; 8] = ['é', 'ß', 'λ', 'Ж', '中', '☃', '𝒳', 'ñ'];
+
+    pub(super) fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let (alphabet, rest) = parse_class(pattern);
+        let (lo, hi) = parse_repeat(rest, pattern);
+        let len = lo + rng.gen_index(hi - lo + 1);
+        (0..len)
+            .map(|_| alphabet[rng.gen_index(alphabet.len())])
+            .collect()
+    }
+
+    /// Returns the alphabet and the unconsumed tail (the `{...}` suffix).
+    fn parse_class(pattern: &str) -> (Vec<char>, &str) {
+        if let Some(rest) = pattern.strip_prefix("\\PC") {
+            let mut pool: Vec<char> = (' '..='~').collect();
+            pool.extend(PRINTABLE_EXTRA);
+            return (pool, rest);
+        }
+        if let Some(body) = pattern.strip_prefix('[') {
+            if let Some(close) = body.find(']') {
+                let (class, rest) = body.split_at(close);
+                let chars: Vec<char> = class.chars().collect();
+                let mut pool = Vec::new();
+                let mut i = 0;
+                while i < chars.len() {
+                    let lo = chars[i];
+                    if i + 2 < chars.len() && chars[i + 1] == '-' {
+                        let hi = chars[i + 2];
+                        assert!(lo <= hi, "descending class range in {pattern:?}");
+                        pool.extend(lo..=hi);
+                        i += 3;
+                    } else {
+                        pool.push(lo);
+                        i += 1;
+                    }
+                }
+                assert!(!pool.is_empty(), "empty character class in {pattern:?}");
+                return (pool, &rest[1..]);
+            }
+        }
+        panic!(
+            "string strategy {pattern:?} is not supported by the proptest \
+             shim (supported: \\PC{{m,n}} and [class]{{m,n}})"
+        );
+    }
+
+    /// Parses `{n}` / `{m,n}`; an empty tail means "exactly once".
+    fn parse_repeat(tail: &str, pattern: &str) -> (usize, usize) {
+        if tail.is_empty() {
+            return (1, 1);
+        }
+        let inner = tail
+            .strip_prefix('{')
+            .and_then(|t| t.strip_suffix('}'))
+            .unwrap_or_else(|| panic!("unsupported repetition {tail:?} in {pattern:?}"));
+        let parse = |s: &str| {
+            s.parse::<usize>()
+                .unwrap_or_else(|_| panic!("bad repetition bound {s:?} in {pattern:?}"))
+        };
+        match inner.split_once(',') {
+            Some((lo, hi)) => {
+                let (lo, hi) = (parse(lo), parse(hi));
+                assert!(lo <= hi, "descending repetition in {pattern:?}");
+                (lo, hi)
+            }
+            None => {
+                let n = parse(inner);
+                (n, n)
+            }
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies (mirrors `proptest::bool`).
+
+    use super::{Strategy, TestRng};
+
+    /// Strategy type of [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Generates `true` or `false` with equal probability.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.gen_index(2) == 1
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (mirrors `proptest::collection`).
+
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Vector length specification: a fixed length or a half-open range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range {r:?}");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.lo + rng.gen_index(self.size.hi - self.size.lo);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import, mirroring `proptest::prelude`.
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, BoxedStrategy, Just, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// FNV-1a of the test path: a stable per-test base seed.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Defines property tests. Supports an optional leading
+/// `#![proptest_config(expr)]` and any number of `#[test] fn name(args…)`
+/// items whose arguments are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($config); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr); $( $(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let seed = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..u64::from(config.cases) {
+                let mut __rng = $crate::TestRng::for_case(seed, case);
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest case {case} of {} failed: {e}\ninputs: {:#?}",
+                        stringify!($name),
+                        ($(&$arg,)+)
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// `assert!` that reports through the proptest failure path (with the
+/// generated inputs) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `assert_eq!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)*), l, r
+        );
+    }};
+}
+
+/// `assert_ne!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = TestRng::for_case(1, 0);
+        for _ in 0..100 {
+            let (a, b) = (3usize..7, 1u8..=4).generate(&mut rng);
+            assert!((3..7).contains(&a));
+            assert!((1..=4).contains(&b));
+        }
+    }
+
+    #[test]
+    fn vec_sizes_respect_range() {
+        let strat = crate::collection::vec(0u32..10, 2..5);
+        let mut rng = TestRng::for_case(2, 0);
+        for _ in 0..50 {
+            let v = strat.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+        let fixed = crate::collection::vec(crate::bool::ANY, 15);
+        assert_eq!(fixed.generate(&mut rng).len(), 15);
+    }
+
+    #[test]
+    fn string_patterns_supported() {
+        let mut rng = TestRng::for_case(3, 0);
+        for _ in 0..50 {
+            let s = "[a-e ]{0,30}".generate(&mut rng);
+            assert!(s.len() <= 30);
+            assert!(s.chars().all(|c| ('a'..='e').contains(&c) || c == ' '));
+            let p = "\\PC{0,20}".generate(&mut rng);
+            assert!(p.chars().count() <= 20);
+            let one = "[a-g]{1}".generate(&mut rng);
+            assert_eq!(one.chars().count(), 1);
+        }
+    }
+
+    #[test]
+    fn flat_map_composes() {
+        let strat = (2usize..6)
+            .prop_flat_map(|n| crate::collection::vec(0..n, n).prop_map(move |v| (n, v)));
+        let mut rng = TestRng::for_case(4, 0);
+        for _ in 0..50 {
+            let (n, v) = strat.generate(&mut rng);
+            assert_eq!(v.len(), n);
+            assert!(v.iter().all(|&x| x < n));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+        #[test]
+        fn macro_roundtrip(x in 0u32..100, v in crate::collection::vec(0u8..3, 0..4)) {
+            prop_assert!(x < 100);
+            prop_assert!(v.len() < 4);
+            prop_assert!(v.iter().all(|&b| b < 3));
+        }
+    }
+}

@@ -23,7 +23,10 @@ pub fn score_alternative(
     tree: &Jtt,
     bindings: &[NodeBinding],
 ) -> f64 {
-    assert!(!bindings.is_empty(), "a JTT needs at least one non-free node");
+    assert!(
+        !bindings.is_empty(),
+        "a JTT needs at least one non-free node"
+    );
     match kind {
         AlternativeScore::AvgNonFreeImportance => {
             let sum: f64 = bindings
@@ -33,19 +36,11 @@ pub fn score_alternative(
             sum / bindings.len() as f64
         }
         AlternativeScore::AvgAllImportance => {
-            let sum: f64 = tree
-                .nodes()
-                .iter()
-                .map(|&v| scorer.importance(v))
-                .sum();
+            let sum: f64 = tree.nodes().iter().map(|&v| scorer.importance(v)).sum();
             sum / tree.size() as f64
         }
         AlternativeScore::AvgImportancePerSize => {
-            let sum: f64 = tree
-                .nodes()
-                .iter()
-                .map(|&v| scorer.importance(v))
-                .sum();
+            let sum: f64 = tree.nodes().iter().map(|&v| scorer.importance(v)).sum();
             sum / (tree.size() as f64 * tree.size() as f64)
         }
     }
@@ -87,10 +82,22 @@ mod tests {
             vec![(0, 1), (1, 2), (2, 3)],
         )
         .unwrap();
-        let b1 = [NodeBinding { pos: 0, match_count: 2, word_count: 2 }];
+        let b1 = [NodeBinding {
+            pos: 0,
+            match_count: 2,
+            word_count: 2,
+        }];
         let b2 = [
-            NodeBinding { pos: 0, match_count: 1, word_count: 4 },
-            NodeBinding { pos: 3, match_count: 1, word_count: 2 },
+            NodeBinding {
+                pos: 0,
+                match_count: 1,
+                word_count: 4,
+            },
+            NodeBinding {
+                pos: 3,
+                match_count: 1,
+                word_count: 2,
+            },
         ];
         let alt1 = score_alternative(AlternativeScore::AvgAllImportance, &s, &t1, &b1);
         let alt2 = score_alternative(AlternativeScore::AvgAllImportance, &s, &t2, &b2);
@@ -114,13 +121,29 @@ mod tests {
         )
         .unwrap();
         let bl = [
-            NodeBinding { pos: 0, match_count: 1, word_count: 4 },
-            NodeBinding { pos: 3, match_count: 1, word_count: 2 },
+            NodeBinding {
+                pos: 0,
+                match_count: 1,
+                word_count: 4,
+            },
+            NodeBinding {
+                pos: 3,
+                match_count: 1,
+                word_count: 2,
+            },
         ];
         let short = Jtt::new(vec![NodeId(0), NodeId(1)], vec![(0, 1)]).unwrap();
         let bs = [
-            NodeBinding { pos: 0, match_count: 1, word_count: 2 },
-            NodeBinding { pos: 1, match_count: 1, word_count: 4 },
+            NodeBinding {
+                pos: 0,
+                match_count: 1,
+                word_count: 2,
+            },
+            NodeBinding {
+                pos: 1,
+                match_count: 1,
+                word_count: 4,
+            },
         ];
         let alt_long = score_alternative(AlternativeScore::AvgNonFreeImportance, &s, &long, &bl);
         let alt_short = score_alternative(AlternativeScore::AvgNonFreeImportance, &s, &short, &bs);
@@ -160,10 +183,31 @@ mod tests {
             vec![(0, 1), (1, 2), (2, 3), (0, 4)],
         )
         .unwrap();
-        let bind_star = [1usize, 2, 3, 4].map(|pos| NodeBinding { pos, match_count: 1, word_count: 1 });
-        let bind_chain = [0usize, 2, 3, 4].map(|pos| NodeBinding { pos, match_count: 1, word_count: 1 });
-        let a = score_alternative(AlternativeScore::AvgImportancePerSize, &s, &star, &bind_star);
-        let c = score_alternative(AlternativeScore::AvgImportancePerSize, &s, &chain, &bind_chain);
-        assert!((a - c).abs() < 1e-12, "alternative cannot tell star from chain");
+        let bind_star = [1usize, 2, 3, 4].map(|pos| NodeBinding {
+            pos,
+            match_count: 1,
+            word_count: 1,
+        });
+        let bind_chain = [0usize, 2, 3, 4].map(|pos| NodeBinding {
+            pos,
+            match_count: 1,
+            word_count: 1,
+        });
+        let a = score_alternative(
+            AlternativeScore::AvgImportancePerSize,
+            &s,
+            &star,
+            &bind_star,
+        );
+        let c = score_alternative(
+            AlternativeScore::AvgImportancePerSize,
+            &s,
+            &chain,
+            &bind_chain,
+        );
+        assert!(
+            (a - c).abs() < 1e-12,
+            "alternative cannot tell star from chain"
+        );
     }
 }

@@ -17,7 +17,10 @@ pub enum Dampening {
 impl Dampening {
     /// The paper's default configuration.
     pub fn paper_default() -> Self {
-        Dampening::Logarithmic { alpha: 0.15, g: 20.0 }
+        Dampening::Logarithmic {
+            alpha: 0.15,
+            g: 20.0,
+        }
     }
 }
 
@@ -33,7 +36,10 @@ pub fn dampening_rate(kind: Dampening, p_i: f64, p_min: f64) -> f64 {
     );
     match kind {
         Dampening::Logarithmic { alpha, g } => {
-            assert!((0.0..1.0).contains(&alpha) && alpha > 0.0, "alpha must lie in (0,1)");
+            assert!(
+                (0.0..1.0).contains(&alpha) && alpha > 0.0,
+                "alpha must lie in (0,1)"
+            );
             assert!(g > 1.0, "group size g must exceed 1");
             let steps = 1.0 + (p_i / p_min).max(1.0).log(g);
             // Clamp: extreme α/importance ratios saturate the power term to
@@ -57,7 +63,14 @@ mod tests {
     #[test]
     fn minimum_importance_dampens_to_alpha() {
         // p_i = p_min ⇒ exponent is 1 ⇒ d = α.
-        let d = dampening_rate(Dampening::Logarithmic { alpha: 0.15, g: 20.0 }, P_MIN, P_MIN);
+        let d = dampening_rate(
+            Dampening::Logarithmic {
+                alpha: 0.15,
+                g: 20.0,
+            },
+            P_MIN,
+            P_MIN,
+        );
         assert!((d - 0.15).abs() < 1e-12);
     }
 
@@ -89,10 +102,22 @@ mod tests {
         // (fewer talk steps for the same importance ratio) — the effect the
         // paper notes under Fig. 7.
         let p = P_MIN * 1e5;
-        let d_small_g =
-            dampening_rate(Dampening::Logarithmic { alpha: 0.15, g: 2.0 }, p, P_MIN);
-        let d_large_g =
-            dampening_rate(Dampening::Logarithmic { alpha: 0.15, g: 30.0 }, p, P_MIN);
+        let d_small_g = dampening_rate(
+            Dampening::Logarithmic {
+                alpha: 0.15,
+                g: 2.0,
+            },
+            p,
+            P_MIN,
+        );
+        let d_large_g = dampening_rate(
+            Dampening::Logarithmic {
+                alpha: 0.15,
+                g: 30.0,
+            },
+            p,
+            P_MIN,
+        );
         assert!(d_small_g > d_large_g);
     }
 
@@ -122,12 +147,26 @@ mod tests {
     #[test]
     #[should_panic(expected = "alpha")]
     fn alpha_out_of_range_rejected() {
-        dampening_rate(Dampening::Logarithmic { alpha: 1.5, g: 20.0 }, P_MIN, P_MIN);
+        dampening_rate(
+            Dampening::Logarithmic {
+                alpha: 1.5,
+                g: 20.0,
+            },
+            P_MIN,
+            P_MIN,
+        );
     }
 
     #[test]
     #[should_panic(expected = "group size")]
     fn g_out_of_range_rejected() {
-        dampening_rate(Dampening::Logarithmic { alpha: 0.15, g: 1.0 }, P_MIN, P_MIN);
+        dampening_rate(
+            Dampening::Logarithmic {
+                alpha: 0.15,
+                g: 1.0,
+            },
+            P_MIN,
+            P_MIN,
+        );
     }
 }

@@ -53,6 +53,24 @@
 //! average / size) for ablation studies, and a linear dampening variant the
 //! paper describes and discards in §III-C.2.
 
+// LINT-EXEMPT(tests): the workspace lint wall (workspace Cargo.toml) bans
+// panicking constructs in library code; unit tests opt back in. Clippy still
+// checks the non-test compilation of this crate, so library violations are
+// caught even with this relaxation in place.
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::indexing_slicing,
+    )
+)]
+// Hot-path crate: lossy numeric casts and float equality are also denied
+// here (ISSUE 1); use the checked conversion helpers instead.
+#![deny(clippy::cast_possible_truncation, clippy::float_cmp)]
+#![cfg_attr(test, allow(clippy::cast_possible_truncation, clippy::float_cmp))]
+
 mod alternatives;
 mod dampen;
 mod scorer;

@@ -40,7 +40,11 @@ impl<'g> Scorer<'g> {
     /// Creates a scorer. `p` must hold one strictly positive importance per
     /// graph node; `p_min` must be its minimum.
     pub fn new(graph: &'g Graph, p: &'g [f64], p_min: f64, dampening: Dampening) -> Self {
-        assert_eq!(p.len(), graph.node_count(), "importance vector length mismatch");
+        assert_eq!(
+            p.len(),
+            graph.node_count(),
+            "importance vector length mismatch"
+        );
         assert!(p_min > 0.0, "p_min must be positive");
         let p_max = p.iter().cloned().fold(p_min, f64::max);
         Scorer {
@@ -61,7 +65,7 @@ impl<'g> Scorer<'g> {
     /// Importance of a node.
     #[inline]
     pub fn importance(&self, v: NodeId) -> f64 {
-        self.p[v.idx()]
+        self.p.get(v.idx()).copied().unwrap_or(0.0)
     }
 
     /// Total surfer count `t = 1/p_min`.
@@ -72,7 +76,7 @@ impl<'g> Scorer<'g> {
     /// Dampening rate `d_i` of a node (Eq. 2).
     #[inline]
     pub fn dampening(&self, v: NodeId) -> f64 {
-        dampening_rate(self.dampening, self.p[v.idx()], self.p_min)
+        dampening_rate(self.dampening, self.importance(v), self.p_min)
     }
 
     /// The largest dampening rate any node can have — an upper bound on the
@@ -85,7 +89,7 @@ impl<'g> Scorer<'g> {
     /// (§III-C.1).
     pub fn generation(&self, v: NodeId, match_count: u32, word_count: u32) -> f64 {
         assert!(word_count > 0, "word count must be positive for a matcher");
-        self.t * self.p[v.idx()] * match_count as f64 / word_count as f64
+        self.t * self.importance(v) * match_count as f64 / word_count as f64
     }
 
     /// Propagates messages of one source through the tree.
@@ -100,12 +104,14 @@ impl<'g> Scorer<'g> {
     pub fn flows_from(&self, tree: &Jtt, src: usize, gen: f64) -> Vec<f64> {
         let n = tree.size();
         let mut f = vec![0.0; n];
-        f[src] = gen;
+        if let Some(slot) = f.get_mut(src) {
+            *slot = gen;
+        }
         // Depth-first propagation outward from the source.
         let mut stack: Vec<(usize, usize)> = vec![(src, src)]; // (node, came_from)
         while let Some((m, from)) = stack.pop() {
             let vm = tree.node(m);
-            let leaving = f[m];
+            let leaving = f.get(m).copied().unwrap_or(0.0);
             if leaving <= 0.0 {
                 continue;
             }
@@ -131,7 +137,9 @@ impl<'g> Scorer<'g> {
                     None => continue,
                 };
                 let received = leaving * w / denom;
-                f[k] = received * self.dampening(vk);
+                if let Some(slot) = f.get_mut(k) {
+                    *slot = received * self.dampening(vk);
+                }
                 stack.push((k, m));
             }
         }
@@ -146,13 +154,15 @@ impl<'g> Scorer<'g> {
     /// count, which preserves the importance ordering between single-node
     /// answers (see DESIGN.md).
     pub fn score_tree(&self, tree: &Jtt, bindings: &[NodeBinding]) -> TreeScore {
-        assert!(!bindings.is_empty(), "a JTT needs at least one non-free node");
+        assert!(
+            !bindings.is_empty(),
+            "a JTT needs at least one non-free node"
+        );
         debug_assert!(
             bindings.iter().all(|b| b.pos < tree.size()),
             "binding position out of range"
         );
-        if bindings.len() == 1 {
-            let b = bindings[0];
+        if let [b] = bindings {
             let s = self.generation(tree.node(b.pos), b.match_count, b.word_count);
             return TreeScore {
                 node_scores: vec![s],
@@ -170,11 +180,11 @@ impl<'g> Scorer<'g> {
         let mut node_scores = Vec::with_capacity(bindings.len());
         for (i, bi) in bindings.iter().enumerate() {
             let mut min_flow = f64::INFINITY;
-            for (j, _bj) in bindings.iter().enumerate() {
+            for (j, fj) in flows.iter().enumerate() {
                 if i == j {
                     continue;
                 }
-                min_flow = min_flow.min(flows[j][bi.pos]);
+                min_flow = min_flow.min(fj.get(bi.pos).copied().unwrap_or(0.0));
             }
             node_scores.push(min_flow);
         }
@@ -215,11 +225,7 @@ mod tests {
     fn flows_on_a_path_dampen_at_each_node() {
         let (g, p) = path3(vec![0.25, 0.5, 0.25]);
         let s = Scorer::new(&g, &p, 0.25, Dampening::paper_default());
-        let tree = Jtt::new(
-            vec![NodeId(0), NodeId(1), NodeId(2)],
-            vec![(0, 1), (1, 2)],
-        )
-        .unwrap();
+        let tree = Jtt::new(vec![NodeId(0), NodeId(1), NodeId(2)], vec![(0, 1), (1, 2)]).unwrap();
         let f = s.flows_from(&tree, 0, 8.0);
         assert_eq!(f[0], 8.0);
         // Node 0's only tree neighbor is 1; all messages go there, then
@@ -244,11 +250,7 @@ mod tests {
         let g = b.build();
         let p = vec![0.4, 0.2, 0.2, 0.2];
         let s = Scorer::new(&g, &p, 0.2, Dampening::paper_default());
-        let tree = Jtt::new(
-            vec![n[1], n[0], n[2], n[3]],
-            vec![(0, 1), (1, 2), (1, 3)],
-        )
-        .unwrap();
+        let tree = Jtt::new(vec![n[1], n[0], n[2], n[3]], vec![(0, 1), (1, 2), (1, 3)]).unwrap();
         // Source at leaf 1 (tree pos 0); messages pass through the center.
         let f = s.flows_from(&tree, 0, 10.0);
         // Center (tree pos 1) receives everything (its only path), dampened.
@@ -268,7 +270,11 @@ mod tests {
         let tree = Jtt::singleton(NodeId(1));
         let score = s.score_tree(
             &tree,
-            &[NodeBinding { pos: 0, match_count: 2, word_count: 2 }],
+            &[NodeBinding {
+                pos: 0,
+                match_count: 2,
+                word_count: 2,
+            }],
         );
         // gen = 4 · 0.5 · 2/2 = 2.
         assert!((score.score - 2.0).abs() < 1e-12);
@@ -278,14 +284,18 @@ mod tests {
     fn two_matcher_chain_scores_min_flow_average() {
         let (g, p) = path3(vec![0.25, 0.5, 0.25]);
         let s = Scorer::new(&g, &p, 0.25, Dampening::paper_default());
-        let tree = Jtt::new(
-            vec![NodeId(0), NodeId(1), NodeId(2)],
-            vec![(0, 1), (1, 2)],
-        )
-        .unwrap();
+        let tree = Jtt::new(vec![NodeId(0), NodeId(1), NodeId(2)], vec![(0, 1), (1, 2)]).unwrap();
         let bind = [
-            NodeBinding { pos: 0, match_count: 1, word_count: 2 },
-            NodeBinding { pos: 2, match_count: 1, word_count: 2 },
+            NodeBinding {
+                pos: 0,
+                match_count: 1,
+                word_count: 2,
+            },
+            NodeBinding {
+                pos: 2,
+                match_count: 1,
+                word_count: 2,
+            },
         ];
         let ts = s.score_tree(&tree, &bind);
         // Symmetric ⇒ both node scores equal; score = node score.
@@ -311,8 +321,16 @@ mod tests {
         let s = Scorer::new(&g, &p, 0.05, Dampening::paper_default());
         let bind = |t: &Jtt| {
             vec![
-                NodeBinding { pos: t.position(n[0]).unwrap(), match_count: 1, word_count: 2 },
-                NodeBinding { pos: t.position(n[2]).unwrap(), match_count: 1, word_count: 2 },
+                NodeBinding {
+                    pos: t.position(n[0]).unwrap(),
+                    match_count: 1,
+                    word_count: 2,
+                },
+                NodeBinding {
+                    pos: t.position(n[2]).unwrap(),
+                    match_count: 1,
+                    word_count: 2,
+                },
             ]
         };
         let weak = Jtt::new(vec![n[0], n[1], n[2]], vec![(0, 1), (1, 2)]).unwrap();
@@ -342,8 +360,16 @@ mod tests {
         .unwrap();
         let b2 = |a: usize, b_: usize| {
             vec![
-                NodeBinding { pos: a, match_count: 1, word_count: 2 },
-                NodeBinding { pos: b_, match_count: 1, word_count: 2 },
+                NodeBinding {
+                    pos: a,
+                    match_count: 1,
+                    word_count: 2,
+                },
+                NodeBinding {
+                    pos: b_,
+                    match_count: 1,
+                    word_count: 2,
+                },
             ]
         };
         let s_short = s.score_tree(&short, &b2(0, 2)).score;
@@ -364,9 +390,21 @@ mod tests {
         let s = Scorer::new(&g, &p, 0.1, Dampening::paper_default());
         let tree = Jtt::new(vec![n[0], n[1], n[2]], vec![(0, 1), (0, 2)]).unwrap();
         let bind = [
-            NodeBinding { pos: 0, match_count: 1, word_count: 1 },
-            NodeBinding { pos: 1, match_count: 1, word_count: 1 },
-            NodeBinding { pos: 2, match_count: 1, word_count: 1 },
+            NodeBinding {
+                pos: 0,
+                match_count: 1,
+                word_count: 1,
+            },
+            NodeBinding {
+                pos: 1,
+                match_count: 1,
+                word_count: 1,
+            },
+            NodeBinding {
+                pos: 2,
+                match_count: 1,
+                word_count: 1,
+            },
         ];
         let ts = s.score_tree(&tree, &bind);
         let f_weak = s.flows_from(&tree, 2, s.generation(n[2], 1, 1));

@@ -54,8 +54,10 @@ impl Jtt {
             let mut sorted = nodes.clone();
             sorted.sort_unstable();
             for w in sorted.windows(2) {
-                if w[0] == w[1] {
-                    return Err(TreeError::DuplicateNode(w[0]));
+                if let &[a, b] = w {
+                    if a == b {
+                        return Err(TreeError::DuplicateNode(a));
+                    }
                 }
             }
         }
@@ -65,23 +67,34 @@ impl Jtt {
         let mut adj = vec![Vec::new(); n];
         for &(a, b) in &edges {
             if a >= n || b >= n || a == b {
-                return Err(TreeError::EdgeOutOfRange { edge: (a, b), nodes: n });
+                return Err(TreeError::EdgeOutOfRange {
+                    edge: (a, b),
+                    nodes: n,
+                });
             }
-            adj[a].push(b);
-            adj[b].push(a);
+            if let Some(list) = adj.get_mut(a) {
+                list.push(b);
+            }
+            if let Some(list) = adj.get_mut(b) {
+                list.push(a);
+            }
         }
         // Connectivity check (|E| = |V| − 1 plus connected ⇒ tree).
         if n > 0 {
             let mut seen = vec![false; n];
             let mut stack = vec![0usize];
-            seen[0] = true;
+            if let Some(s) = seen.get_mut(0) {
+                *s = true;
+            }
             let mut count = 1;
             while let Some(v) = stack.pop() {
-                for &u in &adj[v] {
-                    if !seen[u] {
-                        seen[u] = true;
-                        count += 1;
-                        stack.push(u);
+                for &u in adj.get(v).into_iter().flatten() {
+                    if let Some(s) = seen.get_mut(u) {
+                        if !*s {
+                            *s = true;
+                            count += 1;
+                            stack.push(u);
+                        }
                     }
                 }
             }
@@ -97,13 +110,19 @@ impl Jtt {
 
     /// A single-node tree.
     pub fn singleton(node: NodeId) -> Self {
-        Jtt::new(vec![node], vec![]).expect("singleton is a tree")
+        // A one-node, zero-edge tree is valid by construction.
+        Jtt {
+            nodes: vec![node],
+            edges: Vec::new(),
+            adj: vec![Vec::new()],
+        }
     }
 
     /// Graph node at a tree position.
     #[inline]
     pub fn node(&self, pos: usize) -> NodeId {
-        self.nodes[pos]
+        debug_assert!(pos < self.nodes.len(), "tree position out of range");
+        self.nodes.get(pos).copied().unwrap_or(NodeId(u32::MAX))
     }
 
     /// All graph nodes, by position.
@@ -118,7 +137,7 @@ impl Jtt {
 
     /// Tree positions adjacent to `pos`.
     pub fn adjacent(&self, pos: usize) -> &[usize] {
-        &self.adj[pos]
+        self.adj.get(pos).map_or(&[], Vec::as_slice)
     }
 
     /// Number of nodes (the paper's `size(T)`).
@@ -139,19 +158,29 @@ impl Jtt {
     /// Tree positions with degree ≤ 1 (leaves; a singleton's only node is a
     /// leaf).
     pub fn leaves(&self) -> Vec<usize> {
-        (0..self.size()).filter(|&p| self.adj[p].len() <= 1).collect()
+        self.adj
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.len() <= 1)
+            .map(|(p, _)| p)
+            .collect()
     }
 
     /// Hop distances from `pos` to every tree position.
     pub fn distances_from(&self, pos: usize) -> Vec<u32> {
         let mut dist = vec![u32::MAX; self.size()];
-        dist[pos] = 0;
+        if let Some(d) = dist.get_mut(pos) {
+            *d = 0;
+        }
         let mut q = VecDeque::from([pos]);
         while let Some(v) = q.pop_front() {
-            for &u in &self.adj[v] {
-                if dist[u] == u32::MAX {
-                    dist[u] = dist[v] + 1;
-                    q.push_back(u);
+            let dv = dist.get(v).copied().unwrap_or(u32::MAX);
+            for &u in self.adj.get(v).into_iter().flatten() {
+                if let Some(du) = dist.get_mut(u) {
+                    if *du == u32::MAX {
+                        *du = dv.saturating_add(1);
+                        q.push_back(u);
+                    }
                 }
             }
         }
@@ -165,7 +194,11 @@ impl Jtt {
         }
         // Double BFS: farthest node from 0, then farthest from that.
         let d0 = self.distances_from(0);
-        let far = (0..self.size()).max_by_key(|&i| d0[i]).unwrap_or(0);
+        let far = d0
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &d)| d)
+            .map_or(0, |(i, _)| i);
         let d1 = self.distances_from(far);
         d1.into_iter().max().unwrap_or(0)
     }
@@ -180,7 +213,7 @@ impl Jtt {
             .edges
             .iter()
             .map(|&(a, b)| {
-                let (x, y) = (self.nodes[a], self.nodes[b]);
+                let (x, y) = (self.node(a), self.node(b));
                 if x <= y {
                     (x, y)
                 } else {
@@ -197,8 +230,8 @@ impl Jtt {
     /// too. `is_matcher(pos)` says whether the node at a position matches
     /// some query keyword.
     pub fn is_reduced<F: Fn(usize) -> bool>(&self, root: Option<usize>, is_matcher: F) -> bool {
-        for p in 0..self.size() {
-            let deg = self.adj[p].len();
+        for (p, a) in self.adj.iter().enumerate() {
+            let deg = a.len();
             let must_match = match root {
                 Some(r) if p == r => deg == 1, // single-child root
                 _ => deg <= 1,                 // leaf
@@ -219,7 +252,7 @@ impl Jtt {
             if v == to {
                 break;
             }
-            for &u in &self.adj[v] {
+            for &u in self.adj.get(v).into_iter().flatten() {
                 parent.entry(u).or_insert_with(|| {
                     q.push_back(u);
                     v
@@ -229,7 +262,11 @@ impl Jtt {
         let mut path = vec![to];
         let mut cur = to;
         while cur != from {
-            cur = parent[&cur];
+            match parent.get(&cur) {
+                Some(&p) => cur = p,
+                // Unreachable in a connected tree; stop rather than spin.
+                None => break,
+            }
             path.push(cur);
         }
         path.reverse();
@@ -247,7 +284,11 @@ mod tests {
 
     /// Chain 10 — 11 — 12 — 13.
     fn chain4() -> Jtt {
-        Jtt::new(vec![n(10), n(11), n(12), n(13)], vec![(0, 1), (1, 2), (2, 3)]).unwrap()
+        Jtt::new(
+            vec![n(10), n(11), n(12), n(13)],
+            vec![(0, 1), (1, 2), (2, 3)],
+        )
+        .unwrap()
     }
 
     /// Star with center 20 and leaves 21..24.

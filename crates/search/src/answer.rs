@@ -57,22 +57,22 @@ impl TopK {
     /// Offers an answer; returns true if it was inserted (new tree and good
     /// enough).
     pub fn offer(&mut self, answer: Answer) -> bool {
-        if self.answers.len() == self.k
-            && answer.score <= self.min_score().expect("full list has a min")
-        {
-            return false;
+        // `min_score` is Some exactly when the list is full.
+        if let Some(min) = self.min_score() {
+            if answer.score <= min {
+                return false;
+            }
         }
         let key = answer.tree.canonical_key();
         if !self.seen.insert(key) {
             return false;
         }
-        let at = self
-            .answers
-            .partition_point(|a| a.score >= answer.score);
+        let at = self.answers.partition_point(|a| a.score >= answer.score);
         self.answers.insert(at, answer);
         if self.answers.len() > self.k {
-            let dropped = self.answers.pop().expect("over capacity");
-            self.seen.remove(&dropped.tree.canonical_key());
+            if let Some(dropped) = self.answers.pop() {
+                self.seen.remove(&dropped.tree.canonical_key());
+            }
         }
         true
     }

@@ -117,13 +117,34 @@ pub fn bnb_search(
             }
         }
         eng.stats.pops += 1;
-        let root = eng.arena[idx].root();
+        let Some(cur) = eng.arena.get(idx).cloned() else {
+            debug_assert!(false, "queue references a missing arena slot");
+            continue;
+        };
+        // Pop-order soundness (Theorem 1): a popped candidate that is
+        // itself a complete valid answer must be dominated by the bound it
+        // was enqueued with — otherwise the best-first stop rule
+        // (lines 9–11) could discard a better answer. Always checked in
+        // debug builds, and in release under `strict-invariants`.
+        #[cfg(any(debug_assertions, feature = "strict-invariants"))]
+        {
+            let tree = cur.to_jtt();
+            if cur.mask == eng.query.full_mask() && is_valid_answer(&tree, eng.query) {
+                if let Some(score) = score_answer(eng.scorer, eng.query, &tree) {
+                    assert!(
+                        ub >= score - 1e-9,
+                        "admissibility violated at pop: ub(C) = {ub} < score(C) = {score}"
+                    );
+                }
+            }
+        }
+        let root = cur.root();
         let neighbors: Vec<NodeId> = eng.scorer.graph().neighbors(root).collect();
         for vj in neighbors {
-            if eng.arena[idx].contains(vj) {
+            if cur.contains(vj) {
                 continue;
             }
-            let grown = eng.arena[idx].grow(vj, eng.query);
+            let grown = cur.grow(vj, eng.query);
             eng.register(grown);
         }
     }
@@ -148,17 +169,15 @@ impl<'a> Engine<'a> {
             }
             if let Some(idx) = self.admit(&c) {
                 // Merge with every known candidate sharing the root.
-                let partners = self
-                    .by_root
-                    .get(&c.root())
-                    .cloned()
-                    .unwrap_or_default();
+                let partners = self.by_root.get(&c.root()).cloned().unwrap_or_default();
                 for p in partners {
                     if p == idx {
                         continue;
                     }
                     self.stats.merges += 1;
-                    let partner = &self.arena[p];
+                    let Some(partner) = self.arena.get(p) else {
+                        continue;
+                    };
                     if !self.merge_allowed(&c, partner) {
                         continue;
                     }
@@ -276,7 +295,10 @@ mod tests {
             vec!["a".into(), "b".into()],
             vec![(NodeId(0), 0b01, 2), (NodeId(2), 0b10, 2)],
         );
-        let opts = SearchOptions { k: 1, ..Default::default() };
+        let opts = SearchOptions {
+            k: 1,
+            ..Default::default()
+        };
         let (answers, _) = bnb_search(&scorer, &q, &NoIndex, &opts);
         assert_eq!(answers.len(), 1);
         assert!(answers[0].tree.contains(NodeId(3)));
@@ -325,7 +347,10 @@ mod tests {
             vec![(NodeId(0), 0b01, 2), (NodeId(2), 0b10, 2)],
         );
         // Matchers are 2 hops apart; D = 1 forbids any answer.
-        let opts = SearchOptions { diameter: 1, ..Default::default() };
+        let opts = SearchOptions {
+            diameter: 1,
+            ..Default::default()
+        };
         let (answers, _) = bnb_search(&scorer, &q, &NoIndex, &opts);
         assert!(answers.is_empty());
     }
@@ -355,7 +380,10 @@ mod tests {
             vec!["a".into(), "b".into()],
             vec![(NodeId(0), 0b01, 2), (NodeId(2), 0b10, 2)],
         );
-        let opts = SearchOptions { max_expansions: Some(1), ..Default::default() };
+        let opts = SearchOptions {
+            max_expansions: Some(1),
+            ..Default::default()
+        };
         let (_, stats) = bnb_search(&scorer, &q, &NoIndex, &opts);
         assert!(stats.truncated);
     }

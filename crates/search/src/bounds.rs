@@ -39,10 +39,16 @@ pub fn upper_bound(
     let tree = cand.to_jtt();
     let root = cand.root();
     // Matcher positions and infos.
-    let sources: Vec<(usize, &crate::query::MatcherInfo)> = (0..cand.size())
-        .filter_map(|pos| query.matcher(cand.nodes[pos]).map(|m| (pos, m)))
+    let sources: Vec<(usize, &crate::query::MatcherInfo)> = cand
+        .nodes
+        .iter()
+        .enumerate()
+        .filter_map(|(pos, &v)| query.matcher(v).map(|m| (pos, m)))
         .collect();
-    assert!(!sources.is_empty(), "candidates contain at least one matcher");
+    assert!(
+        !sources.is_empty(),
+        "candidates contain at least one matcher"
+    );
 
     let flows: Vec<Vec<f64>> = sources
         .iter()
@@ -68,7 +74,8 @@ pub fn upper_bound(
             .iter()
             .enumerate()
             .filter(|&(j, _)| j != i)
-            .map(|(_, f)| f[pos_i])
+            // A missing flow entry must not lower the bound: stay infinite.
+            .map(|(_, f)| f.get(pos_i).copied().unwrap_or(f64::INFINITY))
             .fold(f64::INFINITY, f64::min);
         let mut bound = internal_min.min(min_missing);
         if bound.is_infinite() {
@@ -78,13 +85,8 @@ pub fn upper_bound(
             if allow_redundant {
                 // …or an extension whose added sources flow through the
                 // root.
-                let ext = best_damped_gen(
-                    query,
-                    oracle,
-                    query.matchers_sorted(),
-                    root,
-                    Some(m_i.node),
-                );
+                let ext =
+                    best_damped_gen(query, oracle, query.matchers_sorted(), root, Some(m_i.node));
                 bound = bound.max(ext);
             }
         }
@@ -92,23 +94,48 @@ pub fn upper_bound(
     }
     let ce = ce_sum / sources.len() as f64;
 
-    if complete && !allow_redundant {
+    let ub = if complete && !allow_redundant {
         // No extension can stay a valid answer: the bound is the score of
         // the candidate itself (ce reduces to it).
-        return ce;
+        ce
+    } else {
+        // pe: messages of each existing type available beyond the root. An
+        // added node sits at least one hop past the root, so it retains at
+        // most the global maximum dampening rate of that flow.
+        let pe = sources
+            .iter()
+            .enumerate()
+            .map(|(j, &(pos_j, m_j))| {
+                if pos_j == 0 {
+                    m_j.gen
+                } else {
+                    // A missing flow entry must not lower the bound.
+                    flows
+                        .get(j)
+                        .and_then(|f| f.first())
+                        .copied()
+                        .unwrap_or(f64::INFINITY)
+                }
+            })
+            .fold(f64::INFINITY, f64::min)
+            * scorer.max_dampening();
+        ce.max(pe)
+    };
+
+    // Admissibility (Lemma 1): the bound must dominate the score of every
+    // answer grown from this candidate — in particular, a complete
+    // candidate is itself one such answer, so `ub(C) ≥ score(C)` exactly.
+    debug_assert!(!ub.is_nan(), "admissibility: ub(C) must be a number");
+    #[cfg(any(debug_assertions, feature = "strict-invariants"))]
+    if complete {
+        if let Some(score) = crate::answer::score_answer(scorer, query, &tree) {
+            assert!(
+                ub >= score - 1e-9,
+                "admissibility violated: ub(C) = {ub} < score(C) = {score}"
+            );
+        }
     }
-
-    // pe: messages of each existing type available beyond the root. An
-    // added node sits at least one hop past the root, so it retains at most
-    // the global maximum dampening rate of that flow.
-    let pe = sources
-        .iter()
-        .enumerate()
-        .map(|(j, &(pos_j, m_j))| if pos_j == 0 { m_j.gen } else { flows[j][0] })
-        .fold(f64::INFINITY, f64::min)
-        * scorer.max_dampening();
-
-    ce.max(pe)
+    ub
 }
 
 /// `max_u gen(u) · ρ(u, root)` over a matcher list sorted by descending
@@ -132,7 +159,11 @@ fn best_damped_gen(
         if Some(u) == exclude {
             continue;
         }
-        let gen = query.matcher(u).expect("listed matcher").gen;
+        let Some(info) = query.matcher(u) else {
+            debug_assert!(false, "matcher list out of sync with the query");
+            continue;
+        };
+        let gen = info.gen;
         if gen <= best {
             break;
         }
@@ -237,7 +268,10 @@ mod tests {
         let idx = NaiveIndex::build(&g, &damp, 6);
         let tight = upper_bound(&scorer, &q, &idx, &seed, true);
         assert!(tight <= loose + 1e-12, "indexed bound {tight} ≤ {loose}");
-        assert!(tight < loose, "retention information must tighten the bound");
+        assert!(
+            tight < loose,
+            "retention information must tighten the bound"
+        );
     }
 
     #[test]
@@ -267,5 +301,206 @@ mod tests {
         let score = crate::answer::score_answer(&scorer, &q, &full.to_jtt()).unwrap();
         let ub = upper_bound(&scorer, &q, &NoIndex, &full, false);
         assert!((ub - score).abs() < 1e-12, "ub {ub} vs score {score}");
+    }
+}
+
+/// Property check for Lemma 1 against ground truth. The companion property
+/// — branch-and-bound top-k equals the exhaustive naive top-k — lives in
+/// `tests/equivalence.rs`; this one needs the crate-private [`Candidate`],
+/// so it is a unit test.
+#[cfg(test)]
+mod admissibility_props {
+    use super::*;
+    use crate::candidate::Candidate;
+    use crate::naive::naive_search;
+    use crate::SearchOptions;
+    use ci_graph::{Graph, GraphBuilder};
+    use ci_index::{NaiveIndex, NoIndex};
+    use ci_rwmp::{Dampening, Jtt, Scorer};
+    use proptest::prelude::*;
+
+    /// A random connected graph plus a keyword assignment, mirroring the
+    /// generator of `tests/equivalence.rs` at a smaller size.
+    #[derive(Debug, Clone)]
+    struct Case {
+        importance: Vec<f64>,
+        spanning: Vec<usize>,
+        extra: Vec<(usize, usize)>,
+        matcher_sel: Vec<u8>,
+        keywords: usize,
+    }
+
+    fn random_case(n: usize) -> impl Strategy<Value = Case> {
+        (
+            proptest::collection::vec(1u32..1000, n),
+            proptest::collection::vec(0usize..n, n),
+            proptest::collection::vec((0usize..n, 0usize..n), 0..n),
+            proptest::collection::vec(0u8..8, n),
+            2usize..=3,
+        )
+            .prop_map(|(imp, spanning, extra, matcher_sel, keywords)| Case {
+                importance: imp.into_iter().map(|x| f64::from(x) / 1000.0).collect(),
+                spanning,
+                extra,
+                matcher_sel,
+                keywords,
+            })
+    }
+
+    fn build_graph(case: &Case) -> Graph {
+        let n = case.importance.len();
+        let mut b = GraphBuilder::new();
+        let nodes: Vec<NodeId> = (0..n).map(|i| b.add_node((i % 2) as u16, vec![])).collect();
+        // Random spanning tree keeps the graph connected; extra edges add
+        // cycles. The builder collapses duplicate pairs itself.
+        for i in 1..n {
+            let j = case.spanning[i] % i;
+            b.add_pair(nodes[i], nodes[j], 1.0, 1.0);
+        }
+        for &(x, y) in &case.extra {
+            if x != y {
+                b.add_pair(nodes[x], nodes[y], 1.0, 1.0);
+            }
+        }
+        b.build()
+    }
+
+    /// The whole answer tree rooted at `root_pos`, as a complete candidate.
+    fn rooted(tree: &Jtt, root_pos: usize, query: &QuerySpec) -> Candidate {
+        let mut order = vec![root_pos];
+        let mut parent = vec![0u32];
+        let mut pos_in_cand = vec![usize::MAX; tree.size()];
+        pos_in_cand[root_pos] = 0;
+        let mut i = 0;
+        while i < order.len() {
+            let u = order[i];
+            for &v in tree.adjacent(u) {
+                if pos_in_cand[v] == usize::MAX {
+                    pos_in_cand[v] = order.len();
+                    order.push(v);
+                    parent.push(i as u32);
+                }
+            }
+            i += 1;
+        }
+        let nodes: Vec<NodeId> = order.iter().map(|&p| tree.node(p)).collect();
+        let mask = nodes.iter().fold(0, |m, &v| m | query.mask_of(v));
+        let depth = tree.distances_from(root_pos).into_iter().max().unwrap_or(0);
+        Candidate {
+            nodes,
+            parent,
+            mask,
+            depth,
+            diameter: tree.diameter(),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+        /// Lemma 1, empirically: for every answer `T` of the exhaustive
+        /// search and every candidate `C` from which `T` is reachable by
+        /// grow/merge steps, `ub(C) ≥ score(T)`. Reachability requires the
+        /// root-connection invariant — every non-root node of `C` already
+        /// has all of its `T`-neighbors inside `C` — so the checked
+        /// ancestors are (a) every single-matcher seed in `T`, (b) every
+        /// branchless matcher-to-root sub-path, (c) `T` itself under every
+        /// rooting.
+        #[test]
+        fn upper_bound_never_underestimates(case in random_case(6)) {
+            let graph = build_graph(&case);
+            let p = case.importance.clone();
+            let p_min = p.iter().copied().fold(f64::INFINITY, f64::min);
+            let scorer = Scorer::new(&graph, &p, p_min, Dampening::paper_default());
+            let mask_space = (1u32 << case.keywords) - 1;
+            let mut matches = Vec::new();
+            for (i, &sel) in case.matcher_sel.iter().enumerate() {
+                let mask = u32::from(sel) & mask_space;
+                if mask == 0 {
+                    continue;
+                }
+                matches.push((NodeId(i as u32), mask, 2 + (i as u32 % 3)));
+            }
+            if matches.is_empty() {
+                return Ok(());
+            }
+            let query = QuerySpec::from_matches(
+                &scorer,
+                (0..case.keywords).map(|i| format!("k{i}")).collect(),
+                matches,
+            );
+            if !query.answerable() {
+                return Ok(());
+            }
+
+            let opts = SearchOptions {
+                diameter: 4,
+                k: 6,
+                max_tree_nodes: 6,
+                naive_max_paths: 100_000,
+                naive_max_combinations: 1_000_000,
+                ..Default::default()
+            };
+            let (answers, truncated) = naive_search(&scorer, &query, &opts);
+            prop_assert!(!truncated, "oracle must be exhaustive");
+
+            let damp: Vec<f64> = graph.nodes().map(|v| scorer.dampening(v)).collect();
+            let idx = NaiveIndex::build(&graph, &damp, opts.diameter);
+            let oracles: [&dyn DistanceOracle; 2] = [&NoIndex, &idx];
+
+            for a in &answers {
+                let tree = &a.tree;
+                let deg: Vec<usize> =
+                    (0..tree.size()).map(|p| tree.adjacent(p).len()).collect();
+                for root_pos in 0..tree.size() {
+                    // (c) the complete candidate: `T` is one of its own
+                    // reachable answers.
+                    let full = rooted(tree, root_pos, &query);
+                    for oracle in oracles {
+                        let ub = upper_bound(&scorer, &query, oracle, &full, true);
+                        prop_assert!(
+                            ub >= a.score - 1e-9,
+                            "complete candidate: ub {ub} < score {} (root {root_pos})",
+                            a.score
+                        );
+                    }
+                    for mpos in 0..tree.size() {
+                        if query.matcher(tree.node(mpos)).is_none() {
+                            continue;
+                        }
+                        let path = tree.path(mpos, root_pos);
+                        let seed_node = tree.node(mpos);
+                        let mut cand =
+                            Candidate::seed(seed_node, query.mask_of(seed_node));
+                        for (step, &next) in path.iter().enumerate() {
+                            if step > 0 {
+                                // Extending past a branching node breaks the
+                                // root-connection invariant: `T` is no longer
+                                // reachable from the grown candidate, so the
+                                // bound owes it nothing.
+                                let prev = path[step - 1];
+                                let branchless =
+                                    deg[prev] <= if step == 1 { 1 } else { 2 };
+                                if !branchless {
+                                    break;
+                                }
+                                cand = cand.grow(tree.node(next), &query);
+                            }
+                            // (a) the seed (step 0) and (b) each branchless
+                            // prefix must dominate the final score.
+                            for oracle in oracles {
+                                let ub = upper_bound(&scorer, &query, oracle, &cand, true);
+                                prop_assert!(
+                                    ub >= a.score - 1e-9,
+                                    "path candidate (matcher {mpos}, root {root_pos}, \
+                                     step {step}): ub {ub} < score {}",
+                                    a.score
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
 }

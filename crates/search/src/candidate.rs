@@ -38,7 +38,8 @@ impl Candidate {
 
     /// The root node.
     pub fn root(&self) -> NodeId {
-        self.nodes[0]
+        debug_assert!(!self.nodes.is_empty(), "candidates are never empty");
+        self.nodes.first().copied().unwrap_or(NodeId(u32::MAX))
     }
 
     /// Number of nodes.
@@ -64,7 +65,7 @@ impl Candidate {
         // Old position i → new position i + 1; old root's parent is the new
         // root (position 0).
         parent.push(0);
-        for &p in &self.parent[1..] {
+        for &p in self.parent.get(1..).unwrap_or(&[]) {
             parent.push(p + 1);
         }
         Candidate {
@@ -81,16 +82,18 @@ impl Candidate {
     /// check against cycles).
     pub fn merge(&self, other: &Candidate) -> Option<Candidate> {
         debug_assert_eq!(self.root(), other.root(), "merge requires equal roots");
-        for v in &other.nodes[1..] {
+        for v in other.nodes.get(1..).unwrap_or(&[]) {
             if self.nodes.contains(v) {
                 return None;
             }
         }
         let mut nodes = self.nodes.clone();
-        nodes.extend_from_slice(&other.nodes[1..]);
+        nodes.extend_from_slice(other.nodes.get(1..).unwrap_or(&[]));
         let mut parent = self.parent.clone();
-        let offset = self.nodes.len() as u32 - 1;
-        for &p in &other.parent[1..] {
+        let offset = u32::try_from(self.nodes.len())
+            .unwrap_or(u32::MAX)
+            .saturating_sub(1);
+        for &p in other.parent.get(1..).unwrap_or(&[]) {
             parent.push(if p == 0 { 0 } else { p + offset });
         }
         Some(Candidate {
@@ -108,23 +111,38 @@ impl Candidate {
     /// Children count per position.
     pub fn child_counts(&self) -> Vec<u32> {
         let mut c = vec![0u32; self.nodes.len()];
-        for i in 1..self.nodes.len() {
-            c[self.parent[i] as usize] += 1;
+        for &p in self.parent.iter().skip(1) {
+            if let Some(slot) = c.get_mut(p as usize) {
+                *slot += 1;
+            }
         }
         c
     }
 
     /// Non-root leaf positions (these stay leaves in every extension).
     pub fn frozen_leaves(&self) -> Vec<usize> {
-        let counts = self.child_counts();
-        (1..self.nodes.len()).filter(|&i| counts[i] == 0).collect()
+        self.child_counts()
+            .iter()
+            .enumerate()
+            .skip(1)
+            .filter(|(_, &c)| c == 0)
+            .map(|(i, _)| i)
+            .collect()
     }
 
     /// Converts to an (unrooted) [`Jtt`].
     pub fn to_jtt(&self) -> Jtt {
-        let edges = (1..self.nodes.len())
-            .map(|i| (self.parent[i] as usize, i))
+        let edges = self
+            .parent
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(i, &p)| (p as usize, i))
             .collect();
+        // LINT-EXEMPT(invariant): seed/grow/merge maintain tree-ness by
+        // construction (parent links always form a rooted tree over
+        // distinct nodes); `Jtt::new` merely re-validates it.
+        #[allow(clippy::expect_used)]
         Jtt::new(self.nodes.clone(), edges).expect("candidates are trees by construction")
     }
 

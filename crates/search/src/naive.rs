@@ -39,7 +39,7 @@ pub fn naive_search(
         // DFS over simple paths of ≤ `half` edges starting at the matcher.
         let mut path = vec![m.node];
         dfs_paths(graph, &mut path, half, &mut |p: &[NodeId]| {
-            let endpoint = *p.last().expect("non-empty path");
+            let Some(&endpoint) = p.last() else { return };
             let slot = by_endpoint
                 .entry(endpoint)
                 .or_default()
@@ -77,24 +77,21 @@ pub fn naive_search(
         }
         let mut budget = opts.naive_max_combinations;
         let mut choice = Vec::with_capacity(options.len());
-        combine(
-            &options,
-            0,
-            &mut choice,
-            &mut budget,
-            &mut |sel: &[(NodeId, usize)]| {
-                if let Some(tree) = union_paths(sel, per_matcher) {
-                    if tree.size() <= opts.max_tree_nodes
-                        && tree.diameter() <= opts.diameter
-                        && is_valid_answer(&tree, query)
-                    {
-                        if let Some(score) = score_answer(scorer, query, &tree) {
-                            topk.offer(Answer { tree, score });
-                        }
+        combine(&options, 0, &mut choice, &mut budget, &mut |sel: &[(
+            NodeId,
+            usize,
+        )]| {
+            if let Some(tree) = union_paths(sel, per_matcher) {
+                if tree.size() <= opts.max_tree_nodes
+                    && tree.diameter() <= opts.diameter
+                    && is_valid_answer(&tree, query)
+                {
+                    if let Some(score) = score_answer(scorer, query, &tree) {
+                        topk.offer(Answer { tree, score });
                     }
                 }
-            },
-        );
+            }
+        });
         if budget == 0 {
             truncated = true;
         }
@@ -112,7 +109,7 @@ fn dfs_paths(
     if remaining == 0 {
         return;
     }
-    let last = *path.last().expect("non-empty path");
+    let Some(&last) = path.last() else { return };
     let nbrs: Vec<NodeId> = graph.neighbors(last).collect();
     for n in nbrs {
         if path.contains(&n) {
@@ -139,7 +136,7 @@ fn combine(
         emit(choice);
         return;
     }
-    for &opt in &options[k] {
+    for &opt in options.get(k).into_iter().flatten() {
         choice.push(opt);
         combine(options, k + 1, choice, budget, emit);
         choice.pop();
@@ -165,17 +162,21 @@ fn union_paths(
         })
     };
     for &(m, pi) in selection {
-        let path = &per_matcher[&m][pi];
+        let Some(path) = per_matcher.get(&m).and_then(|paths| paths.get(pi)) else {
+            debug_assert!(false, "selection references a missing path");
+            continue;
+        };
         for w in path.windows(2) {
-            let a = add_node(w[0], &mut nodes, &mut pos_of);
-            let b = add_node(w[1], &mut nodes, &mut pos_of);
+            let &[x, y] = w else { continue };
+            let a = add_node(x, &mut nodes, &mut pos_of);
+            let b = add_node(y, &mut nodes, &mut pos_of);
             let e = (a.min(b), a.max(b));
             if !edges.contains(&e) {
                 edges.push(e);
             }
         }
-        if path.len() == 1 {
-            add_node(path[0], &mut nodes, &mut pos_of);
+        if let [only] = path.as_slice() {
+            add_node(*only, &mut nodes, &mut pos_of);
         }
     }
     Jtt::new(nodes, edges).ok()
@@ -240,7 +241,10 @@ mod tests {
             vec!["a".into(), "b".into()],
             vec![(NodeId(0), 0b01, 2), (NodeId(2), 0b10, 2)],
         );
-        let opts = SearchOptions { diameter: 1, ..Default::default() };
+        let opts = SearchOptions {
+            diameter: 1,
+            ..Default::default()
+        };
         let (answers, _) = naive_search(&scorer, &q, &opts);
         assert!(answers.is_empty());
     }
@@ -254,7 +258,10 @@ mod tests {
             vec!["a".into(), "b".into()],
             vec![(NodeId(0), 0b01, 2), (NodeId(2), 0b10, 2)],
         );
-        let opts = SearchOptions { naive_max_combinations: 1, ..Default::default() };
+        let opts = SearchOptions {
+            naive_max_combinations: 1,
+            ..Default::default()
+        };
         let (_, truncated) = naive_search(&scorer, &q, &opts);
         assert!(truncated);
     }

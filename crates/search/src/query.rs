@@ -38,29 +38,51 @@ impl QuerySpec {
     /// matcher's mask must be a non-empty subset of the keyword range.
     pub fn new(keywords: Vec<String>, matchers: Vec<MatcherInfo>) -> Self {
         let kc = keywords.len();
-        assert!((1..=32).contains(&kc), "between 1 and 32 keywords supported");
+        assert!(
+            (1..=32).contains(&kc),
+            "between 1 and 32 keywords supported"
+        );
         let full = Self::full_mask_for(kc);
         let mut map = HashMap::with_capacity(matchers.len());
         let mut per_keyword = vec![Vec::new(); kc];
         let mut best_gen = vec![0.0f64; kc];
         for m in matchers {
-            assert!(m.mask != 0 && m.mask & !full == 0, "matcher mask out of range");
-            assert_eq!(m.match_count, m.mask.count_ones(), "match_count must equal mask bits");
+            assert!(
+                m.mask != 0 && m.mask & !full == 0,
+                "matcher mask out of range"
+            );
+            assert_eq!(
+                m.match_count,
+                m.mask.count_ones(),
+                "match_count must equal mask bits"
+            );
             for k in 0..kc {
                 if m.mask & (1 << k) != 0 {
-                    per_keyword[k].push(m.node);
-                    best_gen[k] = best_gen[k].max(m.gen);
+                    if let Some(list) = per_keyword.get_mut(k) {
+                        list.push(m.node);
+                    }
+                    if let Some(best) = best_gen.get_mut(k) {
+                        *best = best.max(m.gen);
+                    }
                 }
             }
             map.insert(m.node, m);
         }
+        let gen_of =
+            |map: &HashMap<NodeId, MatcherInfo>, v: &NodeId| map.get(v).map_or(0.0, |m| m.gen);
         for list in per_keyword.iter_mut() {
             list.sort_unstable_by(|a, b| {
-                map[b].gen.total_cmp(&map[a].gen).then(a.0.cmp(&b.0))
+                gen_of(&map, b)
+                    .total_cmp(&gen_of(&map, a))
+                    .then(a.0.cmp(&b.0))
             });
         }
         let mut all_sorted: Vec<NodeId> = map.keys().copied().collect();
-        all_sorted.sort_unstable_by(|a, b| map[b].gen.total_cmp(&map[a].gen).then(a.0.cmp(&b.0)));
+        all_sorted.sort_unstable_by(|a, b| {
+            gen_of(&map, b)
+                .total_cmp(&gen_of(&map, a))
+                .then(a.0.cmp(&b.0))
+        });
         QuerySpec {
             keywords,
             matchers: map,
@@ -138,14 +160,14 @@ impl QuerySpec {
 
     /// Matchers of keyword `k` (`En(k)`), sorted by descending generation.
     pub fn matchers_of(&self, k: usize) -> &[NodeId] {
-        &self.per_keyword[k]
+        self.per_keyword.get(k).map_or(&[], Vec::as_slice)
     }
 
     /// `R_k`: the best generation count among matchers of keyword `k`
     /// (0.0 when the keyword matches nothing — the query is then
     /// unanswerable under AND semantics).
     pub fn best_gen(&self, k: usize) -> f64 {
-        self.best_gen[k]
+        self.best_gen.get(k).copied().unwrap_or(0.0)
     }
 
     /// All matcher nodes, sorted by descending generation count.

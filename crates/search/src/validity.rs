@@ -64,18 +64,26 @@ fn augment(
     seen: &mut [bool],
 ) -> bool {
     for k in 0..owner.len() {
-        if mask & (1 << k) == 0 || seen[k] {
+        if mask & (1 << k) == 0 || seen.get(k).copied().unwrap_or(true) {
             continue;
         }
-        seen[k] = true;
-        if owner[k] == usize::MAX {
-            owner[k] = pi;
+        if let Some(s) = seen.get_mut(k) {
+            *s = true;
+        }
+        let other = owner.get(k).copied().unwrap_or(usize::MAX);
+        if other == usize::MAX {
+            if let Some(slot) = owner.get_mut(k) {
+                *slot = pi;
+            }
             return true;
         }
-        let other = owner[k];
-        let other_mask = query.mask_of(tree.node(positions[other]));
+        let other_mask = positions
+            .get(other)
+            .map_or(0, |&pos| query.mask_of(tree.node(pos)));
         if augment(other, other_mask, positions, tree, query, owner, seen) {
-            owner[k] = pi;
+            if let Some(slot) = owner.get_mut(k) {
+                *slot = pi;
+            }
             return true;
         }
     }
@@ -87,6 +95,7 @@ mod tests {
     use super::*;
     use crate::query::MatcherInfo;
     use ci_graph::NodeId;
+    use ci_rwmp::TreeError;
 
     fn query2(matchers: Vec<(u32, u32)>) -> QuerySpec {
         QuerySpec::new(
@@ -105,19 +114,21 @@ mod tests {
     }
 
     #[test]
-    fn chain_with_distinct_matcher_leaves_is_valid() {
+    fn chain_with_distinct_matcher_leaves_is_valid() -> Result<(), TreeError> {
         // 0(a) — 9(free) — 1(b)
         let q = query2(vec![(0, 0b01), (1, 0b10)]);
-        let t = Jtt::new(vec![NodeId(0), NodeId(9), NodeId(1)], vec![(0, 1), (1, 2)]).unwrap();
+        let t = Jtt::new(vec![NodeId(0), NodeId(9), NodeId(1)], vec![(0, 1), (1, 2)])?;
         assert!(is_valid_answer(&t, &q));
+        Ok(())
     }
 
     #[test]
-    fn free_leaf_invalidates() {
+    fn free_leaf_invalidates() -> Result<(), TreeError> {
         let q = query2(vec![(0, 0b01), (1, 0b10)]);
         // 0(a) — 1(b) — 9(free leaf)
-        let t = Jtt::new(vec![NodeId(0), NodeId(1), NodeId(9)], vec![(0, 1), (1, 2)]).unwrap();
+        let t = Jtt::new(vec![NodeId(0), NodeId(1), NodeId(9)], vec![(0, 1), (1, 2)])?;
         assert!(!is_valid_answer(&t, &q));
+        Ok(())
     }
 
     #[test]
@@ -135,47 +146,50 @@ mod tests {
     }
 
     #[test]
-    fn two_leaves_same_single_keyword_invalid() {
+    fn two_leaves_same_single_keyword_invalid() -> Result<(), TreeError> {
         // Both leaves match only keyword a; keyword b sits on the middle.
         let q = query2(vec![(0, 0b01), (1, 0b01), (2, 0b10)]);
-        let t = Jtt::new(vec![NodeId(0), NodeId(2), NodeId(1)], vec![(0, 1), (1, 2)]).unwrap();
+        let t = Jtt::new(vec![NodeId(0), NodeId(2), NodeId(1)], vec![(0, 1), (1, 2)])?;
         assert!(!is_valid_answer(&t, &q));
+        Ok(())
     }
 
     #[test]
-    fn matching_untangles_overlapping_masks() {
+    fn matching_untangles_overlapping_masks() -> Result<(), TreeError> {
         // Leaf x matches {a}, leaf y matches {a, b}: assign x→a, y→b.
         let q = query2(vec![(0, 0b01), (1, 0b11)]);
-        let t = Jtt::new(vec![NodeId(0), NodeId(9), NodeId(1)], vec![(0, 1), (1, 2)]).unwrap();
+        let t = Jtt::new(vec![NodeId(0), NodeId(9), NodeId(1)], vec![(0, 1), (1, 2)])?;
         assert!(is_valid_answer(&t, &q));
         // Order of leaves must not matter.
-        let t2 = Jtt::new(vec![NodeId(1), NodeId(9), NodeId(0)], vec![(0, 1), (1, 2)]).unwrap();
+        let t2 = Jtt::new(vec![NodeId(1), NodeId(9), NodeId(0)], vec![(0, 1), (1, 2)])?;
         assert!(is_valid_answer(&t2, &q));
+        Ok(())
     }
 
     #[test]
-    fn more_leaves_than_keywords_invalid() {
+    fn more_leaves_than_keywords_invalid() -> Result<(), TreeError> {
         // Star with 3 matcher leaves but only 2 keywords.
         let q = query2(vec![(0, 0b11), (1, 0b11), (2, 0b11)]);
         let t = Jtt::new(
             vec![NodeId(9), NodeId(0), NodeId(1), NodeId(2)],
             vec![(0, 1), (0, 2), (0, 3)],
-        )
-        .unwrap();
+        )?;
         assert!(!is_valid_answer(&t, &q));
+        Ok(())
     }
 
     #[test]
-    fn interior_matcher_covers_keyword_without_assignment() {
+    fn interior_matcher_covers_keyword_without_assignment() -> Result<(), TreeError> {
         // Chain 0(a) — 2(b, interior) — 1(a): leaves both match a… invalid
         // (two leaves, one keyword a between them).
         let q = query2(vec![(0, 0b01), (1, 0b01), (2, 0b10)]);
-        let t = Jtt::new(vec![NodeId(0), NodeId(2), NodeId(1)], vec![(0, 1), (1, 2)]).unwrap();
+        let t = Jtt::new(vec![NodeId(0), NodeId(2), NodeId(1)], vec![(0, 1), (1, 2)])?;
         assert!(!is_valid_answer(&t, &q));
         // But 0(a) — 2(b interior) — 3(b leaf): leaf 3 takes b, leaf 0
         // takes a — valid.
         let q2 = query2(vec![(0, 0b01), (3, 0b10), (2, 0b10)]);
-        let t2 = Jtt::new(vec![NodeId(0), NodeId(2), NodeId(3)], vec![(0, 1), (1, 2)]).unwrap();
+        let t2 = Jtt::new(vec![NodeId(0), NodeId(2), NodeId(3)], vec![(0, 1), (1, 2)])?;
         assert!(is_valid_answer(&t2, &q2));
+        Ok(())
     }
 }

@@ -2,6 +2,15 @@
 //! branch-and-bound search prune candidates (by distance and by tighter
 //! bounds) that the plain search must expand.
 
+// LINT-EXEMPT(tests): integration tests may unwrap/index freely; the
+// workspace lint wall applies to library code only (ISSUE 1).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing
+)]
+
 use ci_graph::{GraphBuilder, NodeId};
 use ci_index::{NaiveIndex, NoIndex};
 use ci_rwmp::{Dampening, Scorer};
@@ -39,7 +48,11 @@ fn index_prunes_noisy_far_matchers() {
             (NodeId(9), 0b10, 2),
         ],
     );
-    let opts = SearchOptions { diameter: 3, k: 3, ..Default::default() };
+    let opts = SearchOptions {
+        diameter: 3,
+        k: 3,
+        ..Default::default()
+    };
 
     let (answers_plain, stats_plain) = bnb_search(&scorer, &query, &NoIndex, &opts);
     let damp: Vec<f64> = graph.nodes().map(|v| scorer.dampening(v)).collect();
@@ -74,9 +87,17 @@ fn bound_pruning_kicks_in_once_topk_fills() {
     let query = QuerySpec::from_matches(
         &scorer,
         vec!["a".into(), "b".into()],
-        vec![(NodeId(0), 0b01, 2), (NodeId(2), 0b10, 2), (NodeId(4), 0b10, 2)],
+        vec![
+            (NodeId(0), 0b01, 2),
+            (NodeId(2), 0b10, 2),
+            (NodeId(4), 0b10, 2),
+        ],
     );
-    let opts = SearchOptions { diameter: 4, k: 1, ..Default::default() };
+    let opts = SearchOptions {
+        diameter: 4,
+        k: 1,
+        ..Default::default()
+    };
     let damp: Vec<f64> = graph.nodes().map(|v| scorer.dampening(v)).collect();
     let index = NaiveIndex::build(&graph, &damp, opts.diameter);
     let (answers, stats) = bnb_search(&scorer, &query, &index, &opts);

@@ -78,24 +78,31 @@ impl Database {
         Database::default()
     }
 
-    /// Adds a table. Panics if a table with the same name exists; use
-    /// [`Database::try_add_table`] for a fallible variant.
-    pub fn add_table(&mut self, schema: TableSchema) -> TableId {
-        self.try_add_table(schema).expect("duplicate table name")
-    }
-
     /// Adds a table, failing on duplicate names.
-    pub fn try_add_table(&mut self, schema: TableSchema) -> Result<TableId> {
+    pub fn add_table(&mut self, schema: TableSchema) -> Result<TableId> {
         if self.table_names.contains_key(schema.name()) {
             return Err(StorageError::DuplicateTable(schema.name().to_string()));
         }
+        Ok(self.add_table_unchecked(schema))
+    }
+
+    /// Infallible insert for the canonical schema builders in
+    /// [`crate::schemas`], whose table names are distinct literals. A
+    /// duplicate name would silently shadow the earlier id in the name map,
+    /// so the uniqueness invariant is asserted in debug builds.
+    pub(crate) fn add_table_unchecked(&mut self, schema: TableSchema) -> TableId {
+        debug_assert!(
+            !self.table_names.contains_key(schema.name()),
+            "duplicate table name {:?}",
+            schema.name()
+        );
         let id = TableId(self.tables.len() as u16);
         self.table_names.insert(schema.name().to_string(), id);
         self.tables.push(Table {
             schema,
             rows: Vec::new(),
         });
-        Ok(id)
+        id
     }
 
     /// Declares a link set between two tables.
@@ -107,6 +114,19 @@ impl Database {
     ) -> Result<LinkId> {
         self.table(from)?;
         self.table(to)?;
+        Ok(self.add_link_unchecked(from, to, name))
+    }
+
+    /// Infallible variant of [`Database::add_link`] for the canonical schema
+    /// builders, whose endpoint tables were created moments earlier in the
+    /// same function.
+    pub(crate) fn add_link_unchecked(
+        &mut self,
+        from: TableId,
+        to: TableId,
+        name: impl Into<String>,
+    ) -> LinkId {
+        debug_assert!(self.table(from).is_ok() && self.table(to).is_ok());
         let id = LinkId(self.links.len() as u16);
         self.links.push(LinkSet {
             def: LinkDef {
@@ -116,7 +136,7 @@ impl Database {
             },
             pairs: Vec::new(),
         });
-        Ok(id)
+        id
     }
 
     /// Inserts a tuple, validating arity and column types.
@@ -151,12 +171,11 @@ impl Database {
     /// Connects two tuples through a link set, validating that the endpoints
     /// belong to the link's declared tables and exist.
     pub fn link(&mut self, link: LinkId, from: TupleId, to: TupleId) -> Result<()> {
-        let def = self
+        let def = &self
             .links
             .get(link.0 as usize)
             .ok_or(StorageError::UnknownLink(link))?
-            .def
-            .clone();
+            .def;
         if from.table != def.from {
             return Err(StorageError::LinkEndpointMismatch {
                 link,
@@ -173,7 +192,11 @@ impl Database {
         }
         self.tuple(from)?;
         self.tuple(to)?;
-        self.links[link.0 as usize].pairs.push((from.row, to.row));
+        let set = self
+            .links
+            .get_mut(link.0 as usize)
+            .ok_or(StorageError::UnknownLink(link))?;
+        set.pairs.push((from.row, to.row));
         Ok(())
     }
 
@@ -302,12 +325,16 @@ mod tests {
 
     fn two_table_db() -> (Database, TableId, TableId, LinkId) {
         let mut db = Database::new();
-        let a = db.add_table(TableSchema::new("author").text_column("name"));
-        let p = db.add_table(
-            TableSchema::new("paper")
-                .text_column("title")
-                .int_column("year"),
-        );
+        let a = db
+            .add_table(TableSchema::new("author").text_column("name"))
+            .unwrap();
+        let p = db
+            .add_table(
+                TableSchema::new("paper")
+                    .text_column("title")
+                    .int_column("year"),
+            )
+            .unwrap();
         let l = db.add_link(a, p, "wrote").unwrap();
         (db, a, p, l)
     }
@@ -317,7 +344,10 @@ mod tests {
         let (mut db, a, p, l) = two_table_db();
         let ta = db.insert(a, vec![Value::text("Ada")]).unwrap();
         let tp = db
-            .insert(p, vec![Value::text("On Computable Numbers"), Value::int(1936)])
+            .insert(
+                p,
+                vec![Value::text("On Computable Numbers"), Value::int(1936)],
+            )
             .unwrap();
         db.link(l, ta, tp).unwrap();
 
@@ -341,7 +371,13 @@ mod tests {
         let err = db
             .insert(p, vec![Value::int(5), Value::int(1999)])
             .unwrap_err();
-        assert_eq!(err, StorageError::TypeMismatch { table: p, column: 0 });
+        assert_eq!(
+            err,
+            StorageError::TypeMismatch {
+                table: p,
+                column: 0
+            }
+        );
     }
 
     #[test]
@@ -372,8 +408,8 @@ mod tests {
     #[test]
     fn duplicate_table_name_rejected() {
         let mut db = Database::new();
-        db.add_table(TableSchema::new("t"));
-        let err = db.try_add_table(TableSchema::new("t")).unwrap_err();
+        db.add_table(TableSchema::new("t")).unwrap();
+        let err = db.add_table(TableSchema::new("t")).unwrap_err();
         assert_eq!(err, StorageError::DuplicateTable("t".into()));
     }
 
@@ -401,7 +437,9 @@ mod tests {
     #[test]
     fn self_link_table_allowed() {
         let mut db = Database::new();
-        let p = db.add_table(TableSchema::new("paper").text_column("title"));
+        let p = db
+            .add_table(TableSchema::new("paper").text_column("title"))
+            .unwrap();
         let cites = db.add_link(p, p, "cites").unwrap();
         let a = db.insert(p, vec![Value::text("A")]).unwrap();
         let b = db.insert(p, vec![Value::text("B")]).unwrap();

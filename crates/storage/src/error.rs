@@ -18,10 +18,7 @@ pub enum StorageError {
         got: usize,
     },
     /// An inserted value's type did not match the column definition.
-    TypeMismatch {
-        table: TableId,
-        column: usize,
-    },
+    TypeMismatch { table: TableId, column: usize },
     /// A link endpoint belongs to the wrong table for its link set.
     LinkEndpointMismatch {
         link: LinkId,
@@ -49,11 +46,9 @@ impl fmt::Display for StorageError {
                 "arity mismatch for table {}: expected {expected} values, got {got}",
                 table.0
             ),
-            StorageError::TypeMismatch { table, column } => write!(
-                f,
-                "type mismatch for table {} column {column}",
-                table.0
-            ),
+            StorageError::TypeMismatch { table, column } => {
+                write!(f, "type mismatch for table {} column {column}", table.0)
+            }
             StorageError::LinkEndpointMismatch {
                 link,
                 expected,

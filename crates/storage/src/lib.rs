@@ -15,16 +15,33 @@
 //! ```
 //! use ci_storage::{Database, TableSchema, Value};
 //!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let mut db = Database::new();
-//! let author = db.add_table(TableSchema::new("author").text_column("name"));
-//! let paper = db.add_table(TableSchema::new("paper").text_column("title"));
-//! let wrote = db.add_link(author, paper, "author_paper").unwrap();
+//! let author = db.add_table(TableSchema::new("author").text_column("name"))?;
+//! let paper = db.add_table(TableSchema::new("paper").text_column("title"))?;
+//! let wrote = db.add_link(author, paper, "author_paper")?;
 //!
-//! let a = db.insert(author, vec![Value::text("Jeffrey Ullman")]).unwrap();
-//! let p = db.insert(paper, vec![Value::text("Principles of Database Systems")]).unwrap();
-//! db.link(wrote, a, p).unwrap();
+//! let a = db.insert(author, vec![Value::text("Jeffrey Ullman")])?;
+//! let p = db.insert(paper, vec![Value::text("Principles of Database Systems")])?;
+//! db.link(wrote, a, p)?;
 //! assert_eq!(db.tuple_count(), 2);
+//! # Ok(())
+//! # }
 //! ```
+
+// LINT-EXEMPT(tests): the workspace lint wall (workspace Cargo.toml) bans
+// panicking constructs in library code; unit tests opt back in. Clippy still
+// checks the non-test compilation of this crate, so library violations are
+// caught even with this relaxation in place.
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::indexing_slicing,
+    )
+)]
 
 mod database;
 mod error;

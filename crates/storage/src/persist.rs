@@ -54,10 +54,16 @@ impl From<io::Error> for LoadError {
     }
 }
 
+/// Converts an impossible-by-construction storage lookup failure into an
+/// `io::Error` so `dump` stays panic-free without widening its error type.
+fn lookup<T>(r: crate::Result<T>) -> io::Result<T> {
+    r.map_err(io::Error::other)
+}
+
 /// Writes the database as a text dump.
 pub fn dump(db: &Database, out: &mut impl Write) -> io::Result<()> {
     for table in db.table_ids() {
-        let schema = db.schema(table).expect("listed table exists");
+        let schema = lookup(db.schema(table))?;
         writeln!(out, "#table {}", schema.name())?;
         let cols: Vec<String> = schema
             .columns()
@@ -71,16 +77,16 @@ pub fn dump(db: &Database, out: &mut impl Write) -> io::Result<()> {
             })
             .collect();
         writeln!(out, "#columns {}", cols.join(","))?;
-        for row in db.rows(table).expect("listed table exists") {
-            let tuple = db.tuple(row).expect("listed row exists");
+        for row in lookup(db.rows(table))? {
+            let tuple = lookup(db.tuple(row))?;
             let cells: Vec<String> = tuple.values().iter().map(encode_value).collect();
             writeln!(out, "{}", cells.join("\t"))?;
         }
     }
     for set in db.link_sets() {
         let def = set.def();
-        let from = db.schema(def.from).expect("link endpoints exist").name();
-        let to = db.schema(def.to).expect("link endpoints exist").name();
+        let from = lookup(db.schema(def.from))?.name();
+        let to = lookup(db.schema(def.to))?.name();
         writeln!(out, "#link {} {from} {to}", def.name)?;
         for &(f, t) in set.pairs() {
             writeln!(out, "{f} {t}")?;
@@ -103,12 +109,17 @@ pub fn load(input: &mut impl BufRead) -> Result<Database, LoadError> {
     for (no, line) in input.lines().enumerate() {
         let line = line?;
         let lineno = no + 1;
-        let err = |message: &str| LoadError::Parse { line: lineno, message: message.to_string() };
+        let err = |message: &str| LoadError::Parse {
+            line: lineno,
+            message: message.to_string(),
+        };
         if let Some(name) = line.strip_prefix("#table ") {
             pending_table = Some(name.to_string());
             section = Section::None;
         } else if let Some(cols) = line.strip_prefix("#columns ") {
-            let name = pending_table.take().ok_or_else(|| err("#columns without #table"))?;
+            let name = pending_table
+                .take()
+                .ok_or_else(|| err("#columns without #table"))?;
             let mut schema = TableSchema::new(name);
             for col in cols.split(',').filter(|c| !c.is_empty()) {
                 let (cname, kind) = col
@@ -121,7 +132,7 @@ pub fn load(input: &mut impl BufRead) -> Result<Database, LoadError> {
                 };
             }
             let id = db
-                .try_add_table(schema)
+                .add_table(schema)
                 .map_err(|e| err(&format!("bad table: {e}")))?;
             section = Section::Rows(id);
         } else if let Some(rest) = line.strip_prefix("#link ") {
@@ -146,9 +157,10 @@ pub fn load(input: &mut impl BufRead) -> Result<Database, LoadError> {
             match section {
                 Section::None => return Err(err("data before any section header")),
                 Section::Rows(table) => {
-                    let schema = db.schema(table).expect("section table exists");
-                    let kinds: Vec<ColumnKind> =
-                        schema.columns().iter().map(|c| c.kind).collect();
+                    let schema = db
+                        .schema(table)
+                        .map_err(|e| err(&format!("lost section table: {e}")))?;
+                    let kinds: Vec<ColumnKind> = schema.columns().iter().map(|c| c.kind).collect();
                     let cells: Vec<&str> = line.split('\t').collect();
                     if cells.len() != kinds.len() {
                         return Err(err(&format!(
@@ -163,7 +175,8 @@ pub fn load(input: &mut impl BufRead) -> Result<Database, LoadError> {
                         .map(|(cell, kind)| decode_value(cell, *kind))
                         .collect::<Result<_, String>>()
                         .map_err(|m| err(&m))?;
-                    db.insert(table, values).map_err(|e| err(&format!("bad row: {e}")))?;
+                    db.insert(table, values)
+                        .map_err(|e| err(&format!("bad row: {e}")))?;
                 }
                 Section::Pairs(link, from, to) => {
                     let (f, t) = line
@@ -232,7 +245,9 @@ mod tests {
 
     fn sample_db() -> Database {
         let (mut db, t) = schemas::dblp();
-        let a = db.insert(t.author, vec![Value::text("ada\tcrane\nwith escapes\\")]).unwrap();
+        let a = db
+            .insert(t.author, vec![Value::text("ada\tcrane\nwith escapes\\")])
+            .unwrap();
         let b = db.insert(t.author, vec![Value::text("bo quill")]).unwrap();
         let p = db
             .insert(t.paper, vec![Value::text("joint work"), Value::Null])
@@ -281,9 +296,15 @@ mod tests {
             ("data before any section", "hello world"),
             ("#columns without #table", "#columns a:text"),
             ("unknown kind", "#table t\n#columns a:blob"),
-            ("cell count", "#table t\n#columns a:text,b:int\nonly_one_cell"),
+            (
+                "cell count",
+                "#table t\n#columns a:text,b:int\nonly_one_cell",
+            ),
             ("unknown link table", "#link l ghost ghost2"),
-            ("bad pair", "#table t\n#columns a:text\nx\n#link l t t\nnot_numbers"),
+            (
+                "bad pair",
+                "#table t\n#columns a:text\nx\n#link l t t\nnot_numbers",
+            ),
         ];
         for (what, input) in cases {
             let res = load(&mut input.as_bytes());
@@ -306,7 +327,9 @@ mod tests {
     #[test]
     fn null_and_int_cells() {
         let mut db = Database::new();
-        let t = db.add_table(TableSchema::new("t").int_column("n").text_column("s"));
+        let t = db
+            .add_table(TableSchema::new("t").int_column("n").text_column("s"))
+            .unwrap();
         db.insert(t, vec![Value::int(-42), Value::Null]).unwrap();
         db.insert(t, vec![Value::Null, Value::text("x")]).unwrap();
         let mut buf = Vec::new();

@@ -26,18 +26,16 @@ pub struct DblpTables {
 /// Creates an empty DBLP-shaped database.
 pub fn dblp() -> (Database, DblpTables) {
     let mut db = Database::new();
-    let conference = db.add_table(TableSchema::new("conference").text_column("name"));
-    let paper = db.add_table(
+    let conference = db.add_table_unchecked(TableSchema::new("conference").text_column("name"));
+    let paper = db.add_table_unchecked(
         TableSchema::new("paper")
             .text_column("title")
             .int_column("year"),
     );
-    let author = db.add_table(TableSchema::new("author").text_column("name"));
-    let paper_conference = db
-        .add_link(paper, conference, "paper_conference")
-        .expect("fresh db");
-    let author_paper = db.add_link(author, paper, "author_paper").expect("fresh db");
-    let cites = db.add_link(paper, paper, "cites").expect("fresh db");
+    let author = db.add_table_unchecked(TableSchema::new("author").text_column("name"));
+    let paper_conference = db.add_link_unchecked(paper, conference, "paper_conference");
+    let author_paper = db.add_link_unchecked(author, paper, "author_paper");
+    let cites = db.add_link_unchecked(paper, paper, "cites");
     (
         db,
         DblpTables {
@@ -81,29 +79,21 @@ pub struct ImdbTables {
 /// Creates an empty IMDB-shaped database.
 pub fn imdb() -> (Database, ImdbTables) {
     let mut db = Database::new();
-    let movie = db.add_table(
+    let movie = db.add_table_unchecked(
         TableSchema::new("movie")
             .text_column("title")
             .int_column("year"),
     );
-    let actor = db.add_table(TableSchema::new("actor").text_column("name"));
-    let actress = db.add_table(TableSchema::new("actress").text_column("name"));
-    let director = db.add_table(TableSchema::new("director").text_column("name"));
-    let producer = db.add_table(TableSchema::new("producer").text_column("name"));
-    let company = db.add_table(TableSchema::new("company").text_column("name"));
-    let actor_movie = db.add_link(actor, movie, "actor_movie").expect("fresh db");
-    let actress_movie = db
-        .add_link(actress, movie, "actress_movie")
-        .expect("fresh db");
-    let director_movie = db
-        .add_link(director, movie, "director_movie")
-        .expect("fresh db");
-    let producer_movie = db
-        .add_link(producer, movie, "producer_movie")
-        .expect("fresh db");
-    let company_movie = db
-        .add_link(company, movie, "company_movie")
-        .expect("fresh db");
+    let actor = db.add_table_unchecked(TableSchema::new("actor").text_column("name"));
+    let actress = db.add_table_unchecked(TableSchema::new("actress").text_column("name"));
+    let director = db.add_table_unchecked(TableSchema::new("director").text_column("name"));
+    let producer = db.add_table_unchecked(TableSchema::new("producer").text_column("name"));
+    let company = db.add_table_unchecked(TableSchema::new("company").text_column("name"));
+    let actor_movie = db.add_link_unchecked(actor, movie, "actor_movie");
+    let actress_movie = db.add_link_unchecked(actress, movie, "actress_movie");
+    let director_movie = db.add_link_unchecked(director, movie, "director_movie");
+    let producer_movie = db.add_link_unchecked(producer, movie, "producer_movie");
+    let company_movie = db.add_link_unchecked(company, movie, "company_movie");
     (
         db,
         ImdbTables {
@@ -155,7 +145,9 @@ mod tests {
         let p = db
             .insert(t.paper, vec![Value::text("CI-Rank"), Value::int(2012)])
             .unwrap();
-        let a = db.insert(t.author, vec![Value::text("Xiaohui Yu")]).unwrap();
+        let a = db
+            .insert(t.author, vec![Value::text("Xiaohui Yu")])
+            .unwrap();
         db.link(t.paper_conference, p, icde).unwrap();
         db.link(t.author_paper, a, p).unwrap();
         assert!(db.validate().is_ok());

@@ -70,8 +70,10 @@ impl IndexBuilder {
             self.relation_stats
                 .resize(stats_idx + 1, RelationStats::default());
         }
-        self.relation_stats[stats_idx].n_docs += 1;
-        self.relation_stats[stats_idx].total_len += tokens.len() as u64;
+        if let Some(stats) = self.relation_stats.get_mut(stats_idx) {
+            stats.n_docs += 1;
+            stats.total_len += tokens.len() as u64;
+        }
 
         let mut counts: HashMap<&str, u32> = HashMap::new();
         for t in &tokens {
@@ -85,8 +87,12 @@ impl IndexBuilder {
                 self.postings.push(Vec::new());
                 self.rel_df.push(HashMap::new());
             }
-            self.postings[id.0 as usize].push(Posting { doc, tf });
-            *self.rel_df[id.0 as usize].entry(relation).or_insert(0) += 1;
+            if let Some(posts) = self.postings.get_mut(id.0 as usize) {
+                posts.push(Posting { doc, tf });
+            }
+            if let Some(df) = self.rel_df.get_mut(id.0 as usize) {
+                *df.entry(relation).or_insert(0) += 1;
+            }
         }
     }
 
@@ -128,10 +134,9 @@ impl InvertedIndex {
     /// Postings for a term, sorted by document id. Empty slice for unknown
     /// keywords.
     pub fn postings(&self, keyword: &str) -> &[Posting] {
-        match self.term(keyword) {
-            Some(t) => &self.postings[t.0 as usize],
-            None => &[],
-        }
+        self.term(keyword)
+            .and_then(|t| self.postings.get(t.0 as usize))
+            .map_or(&[], Vec::as_slice)
     }
 
     /// Documents containing the keyword — the paper's non-free node set
@@ -144,7 +149,7 @@ impl InvertedIndex {
     pub fn tf(&self, keyword: &str, doc: u32) -> u32 {
         let posts = self.postings(keyword);
         match posts.binary_search_by_key(&doc, |p| p.doc) {
-            Ok(i) => posts[i].tf,
+            Ok(i) => posts.get(i).map_or(0, |p| p.tf),
             Err(_) => 0,
         }
     }
@@ -153,14 +158,16 @@ impl InvertedIndex {
     /// (`df_k(Rel(v))` in the DISCOVER2 formula).
     pub fn df_in_relation(&self, keyword: &str, relation: u16) -> u32 {
         self.term(keyword)
-            .and_then(|t| self.rel_df[t.0 as usize].get(&relation).copied())
+            .and_then(|t| self.rel_df.get(t.0 as usize))
+            .and_then(|df| df.get(&relation).copied())
             .unwrap_or(0)
     }
 
     /// Total document frequency of `keyword` across all relations.
     pub fn df(&self, keyword: &str) -> u32 {
         self.term(keyword)
-            .map(|t| self.rel_df[t.0 as usize].values().sum())
+            .and_then(|t| self.rel_df.get(t.0 as usize))
+            .map(|df| df.values().sum())
             .unwrap_or(0)
     }
 
@@ -218,7 +225,11 @@ mod tests {
         let mut b = IndexBuilder::new();
         b.add_doc(0, 0, "Yannis Papakonstantinou");
         b.add_doc(1, 0, "Jeffrey Ullman");
-        b.add_doc(2, 1, "The TSIMMIS Project: Integration of Heterogeneous Information Sources");
+        b.add_doc(
+            2,
+            1,
+            "The TSIMMIS Project: Integration of Heterogeneous Information Sources",
+        );
         b.add_doc(3, 1, "Capability Based Mediation in TSIMMIS");
         b.add_doc(4, 1, "tsimmis tsimmis tsimmis");
         b.build()

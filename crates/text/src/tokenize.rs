@@ -45,7 +45,10 @@ mod tests {
 
     #[test]
     fn lowercases() {
-        assert_eq!(tokenize("Papakonstantinou ULLMAN"), vec!["papakonstantinou", "ullman"]);
+        assert_eq!(
+            tokenize("Papakonstantinou ULLMAN"),
+            vec!["papakonstantinou", "ullman"]
+        );
     }
 
     #[test]

@@ -30,7 +30,7 @@ impl Importance {
     /// Importance of one node.
     #[inline]
     pub fn get(&self, v: NodeId) -> f64 {
-        self.p[v.idx()]
+        self.p.get(v.idx()).copied().unwrap_or(0.0)
     }
 
     /// The full vector.

@@ -31,7 +31,9 @@ pub fn monte_carlo<R: Rng>(
         for _ in 0..walks_per_node {
             let mut cur = start;
             loop {
-                visits[cur.idx()] += 1;
+                if let Some(slot) = visits.get_mut(cur.idx()) {
+                    *slot += 1;
+                }
                 if rng.gen::<f64>() < teleport {
                     break;
                 }

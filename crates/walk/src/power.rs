@@ -103,24 +103,22 @@ fn solve(graph: &Graph, opts: PowerOptions, u: &[f64]) -> (Importance, Convergen
         // walk mass is redistributed via u.
         let mut dangling = 0.0;
         for v in graph.nodes() {
-            let mass = p[v.idx()];
+            let mass = p.get(v.idx()).copied().unwrap_or(0.0);
             if graph.out_degree(v) == 0 {
                 dangling += mass;
                 continue;
             }
             for e in graph.edges(v) {
-                next[e.to.idx()] += (1.0 - c) * mass * e.norm_weight;
+                if let Some(slot) = next.get_mut(e.to.idx()) {
+                    *slot += (1.0 - c) * mass * e.norm_weight;
+                }
             }
         }
         let redistribute = c + (1.0 - c) * dangling;
-        for i in 0..n {
-            next[i] += redistribute * u[i];
+        for (slot, mass) in next.iter_mut().zip(u.iter()) {
+            *slot += redistribute * mass;
         }
-        let delta: f64 = next
-            .iter()
-            .zip(p.iter())
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let delta: f64 = next.iter().zip(p.iter()).map(|(a, b)| (a - b).abs()).sum();
         std::mem::swap(&mut p, &mut next);
         report.iterations += 1;
         report.residual = delta;
@@ -241,7 +239,11 @@ mod tests {
         // An impossible epsilon never converges but still reports.
         let (_, starved) = pagerank_with_stats(
             &g,
-            PowerOptions { epsilon: 0.0, max_iterations: 5, ..Default::default() },
+            PowerOptions {
+                epsilon: 0.0,
+                max_iterations: 5,
+                ..Default::default()
+            },
         );
         assert!(!starved.converged);
         assert_eq!(starved.iterations, 5);

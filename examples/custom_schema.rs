@@ -7,21 +7,25 @@
 //! cargo run --example custom_schema
 //! ```
 
+// LINT-EXEMPT(example): examples are runnable documentation; panicking on
+// unexpected states keeps them short and is the conventional idiom here.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
+
 use ci_graph::{MergeSpec, WeightConfig};
 use ci_rank::{CiRankConfig, Engine};
 use ci_storage::{Database, TableSchema, Value};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Schema: artist —< album >— playlist, plus producer credits.
     let mut db = Database::new();
-    let artist = db.add_table(TableSchema::new("artist").text_column("name"));
-    let producer = db.add_table(TableSchema::new("producer").text_column("name"));
+    let artist = db.add_table(TableSchema::new("artist").text_column("name"))?;
+    let producer = db.add_table(TableSchema::new("producer").text_column("name"))?;
     let album = db.add_table(
         TableSchema::new("album")
             .text_column("title")
             .int_column("year"),
-    );
-    let playlist = db.add_table(TableSchema::new("playlist").text_column("name"));
+    )?;
+    let playlist = db.add_table(TableSchema::new("playlist").text_column("name"))?;
     let performs = db.add_link(artist, album, "performs_on").unwrap();
     let produced = db.add_link(producer, album, "produced").unwrap();
     let features = db.add_link(playlist, album, "features").unwrap();
@@ -30,7 +34,10 @@ fn main() {
     let nova = db.insert(artist, vec![Value::text("lena nova")]).unwrap();
     let marsh = db.insert(artist, vec![Value::text("teo marsh")]).unwrap();
     let hit = db
-        .insert(album, vec![Value::text("midnight circuit"), Value::int(2019)])
+        .insert(
+            album,
+            vec![Value::text("midnight circuit"), Value::int(2019)],
+        )
         .unwrap();
     let obscure = db
         .insert(album, vec![Value::text("early sketches"), Value::int(2011)])
@@ -87,4 +94,5 @@ fn main() {
         engine.node_text(merged),
         engine.graph().tuples(merged).len()
     );
+    Ok(())
 }

@@ -6,6 +6,10 @@
 //! cargo run --example dblp_bibliography
 //! ```
 
+// LINT-EXEMPT(example): examples are runnable documentation; panicking on
+// unexpected states keeps them short and is the conventional idiom here.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
+
 use ci_datagen::{dblp_workload, generate_dblp, DblpConfig};
 use ci_graph::WeightConfig;
 use ci_rank::{CiRankConfig, Engine, Ranker};
@@ -19,7 +23,10 @@ fn main() {
     });
     let engine = Engine::build(
         &data.db,
-        CiRankConfig { weights: WeightConfig::dblp_default(), ..Default::default() },
+        CiRankConfig {
+            weights: WeightConfig::dblp_default(),
+            ..Default::default()
+        },
     )
     .unwrap();
     println!(
@@ -35,7 +42,11 @@ fn main() {
         if pool.is_empty() {
             continue;
         }
-        println!("query: {query:?} ({:?}, {} candidates)", q.pattern, pool.len());
+        println!(
+            "query: {query:?} ({:?}, {} candidates)",
+            q.pattern,
+            pool.len()
+        );
         for (label, ranker) in [
             ("CI-Rank  ", Ranker::CiRank),
             ("SPARK    ", Ranker::Spark),

@@ -7,9 +7,13 @@
 //! cargo run --example imdb_costars
 //! ```
 
+// LINT-EXEMPT(example): examples are runnable documentation; panicking on
+// unexpected states keeps them short and is the conventional idiom here.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
+
 use ci_datagen::{generate_imdb, ImdbConfig};
-use ci_rank::{CiRankConfig, Engine, Ranker};
 use ci_graph::{MergeSpec, WeightConfig};
+use ci_rank::{CiRankConfig, Engine, Ranker};
 use ci_storage::{TupleId, Value};
 
 fn main() {
@@ -29,10 +33,16 @@ fn main() {
         .map(|name| db.insert(t.actor, vec![Value::text(*name)]).unwrap())
         .collect();
     let hit = db
-        .insert(t.movie, vec![Value::text("the fellowship saga"), Value::int(2001)])
+        .insert(
+            t.movie,
+            vec![Value::text("the fellowship saga"), Value::int(2001)],
+        )
         .unwrap();
     let flop = db
-        .insert(t.movie, vec![Value::text("the forgotten reel"), Value::int(1999)])
+        .insert(
+            t.movie,
+            vec![Value::text("the forgotten reel"), Value::int(1999)],
+        )
         .unwrap();
     for &a in &trio {
         db.link(t.actor_movie, a, hit).unwrap();
@@ -48,7 +58,9 @@ fn main() {
         &data.db,
         CiRankConfig {
             weights: WeightConfig::imdb_default(),
-            merge: Some(MergeSpec::over(vec![t.actor, t.actress, t.director, t.producer])),
+            merge: Some(MergeSpec::over(vec![
+                t.actor, t.actress, t.director, t.producer,
+            ])),
             diameter: 4,
             ..Default::default()
         },

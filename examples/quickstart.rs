@@ -5,6 +5,10 @@
 //! cargo run --example quickstart
 //! ```
 
+// LINT-EXEMPT(example): examples are runnable documentation; panicking on
+// unexpected states keeps them short and is the conventional idiom here.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
+
 use ci_graph::WeightConfig;
 use ci_rank::{CiRankConfig, Engine};
 use ci_storage::{schemas, Value};
@@ -15,19 +19,26 @@ fn main() {
     let papa = db
         .insert(t.author, vec![Value::text("Yannis Papakonstantinou")])
         .unwrap();
-    let ullman = db.insert(t.author, vec![Value::text("Jeffrey Ullman")]).unwrap();
+    let ullman = db
+        .insert(t.author, vec![Value::text("Jeffrey Ullman")])
+        .unwrap();
 
     let mediation = db
         .insert(
             t.paper,
-            vec![Value::text("Capability Based Mediation in TSIMMIS"), Value::int(1997)],
+            vec![
+                Value::text("Capability Based Mediation in TSIMMIS"),
+                Value::int(1997),
+            ],
         )
         .unwrap();
     let project = db
         .insert(
             t.paper,
             vec![
-                Value::text("The TSIMMIS Project: Integration of Heterogeneous Information Sources"),
+                Value::text(
+                    "The TSIMMIS Project: Integration of Heterogeneous Information Sources",
+                ),
                 Value::int(1995),
             ],
         )
@@ -41,7 +52,13 @@ fn main() {
     //    the counts the paper quotes in §II-B.
     for i in 0..45 {
         let citer = db
-            .insert(t.paper, vec![Value::text(format!("follow-up paper {i}")), Value::int(2000)])
+            .insert(
+                t.paper,
+                vec![
+                    Value::text(format!("follow-up paper {i}")),
+                    Value::int(2000),
+                ],
+            )
             .unwrap();
         let target = if i < 7 { mediation } else { project };
         db.link(t.cites, citer, target).unwrap();
@@ -51,13 +68,19 @@ fn main() {
     //    (α = 0.15, g = 20, c = 0.15, D = 4).
     let engine = Engine::build(
         &db,
-        CiRankConfig { weights: WeightConfig::dblp_default(), ..Default::default() },
+        CiRankConfig {
+            weights: WeightConfig::dblp_default(),
+            ..Default::default()
+        },
     )
     .expect("non-empty database");
 
     // 4. The motivating query.
     let answers = engine.search("Papakonstantinou Ullman").unwrap();
-    println!("query: \"Papakonstantinou Ullman\" — {} answers\n", answers.len());
+    println!(
+        "query: \"Papakonstantinou Ullman\" — {} answers\n",
+        answers.len()
+    );
     for (i, a) in answers.iter().enumerate() {
         println!("#{}  {a}", i + 1);
     }

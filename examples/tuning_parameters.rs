@@ -6,10 +6,14 @@
 //! cargo run --release --example tuning_parameters
 //! ```
 
+// LINT-EXEMPT(example): examples are runnable documentation; panicking on
+// unexpected states keeps them short and is the conventional idiom here.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
+
 use ci_datagen::{dblp_workload, generate_dblp, DblpConfig};
 use ci_eval::{effectiveness_runner, JudgeConfig};
-use ci_rank::{CiRankConfig, Engine, Ranker};
 use ci_graph::WeightConfig;
+use ci_rank::{CiRankConfig, Engine, Ranker};
 
 fn main() {
     let data = generate_dblp(DblpConfig {

@@ -6,6 +6,10 @@
 //! cargo run --example user_feedback
 //! ```
 
+// LINT-EXEMPT(example): examples are runnable documentation; panicking on
+// unexpected states keeps them short and is the conventional idiom here.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
+
 use ci_graph::WeightConfig;
 use ci_rank::feedback::FeedbackLog;
 use ci_rank::{CiRankConfig, Engine, ImportanceMethod};
@@ -14,20 +18,33 @@ use ci_storage::{schemas, Value};
 fn main() {
     // Two authors with two symmetric joint papers.
     let (mut db, t) = schemas::dblp();
-    let a1 = db.insert(t.author, vec![Value::text("ramona ashcombe")]).unwrap();
-    let a2 = db.insert(t.author, vec![Value::text("wendel foxworth")]).unwrap();
+    let a1 = db
+        .insert(t.author, vec![Value::text("ramona ashcombe")])
+        .unwrap();
+    let a2 = db
+        .insert(t.author, vec![Value::text("wendel foxworth")])
+        .unwrap();
     let survey = db
-        .insert(t.paper, vec![Value::text("a survey of keyword search"), Value::int(2008)])
+        .insert(
+            t.paper,
+            vec![Value::text("a survey of keyword search"), Value::int(2008)],
+        )
         .unwrap();
     let demo = db
-        .insert(t.paper, vec![Value::text("a demo of keyword search"), Value::int(2009)])
+        .insert(
+            t.paper,
+            vec![Value::text("a demo of keyword search"), Value::int(2009)],
+        )
         .unwrap();
     for p in [survey, demo] {
         db.link(t.author_paper, a1, p).unwrap();
         db.link(t.author_paper, a2, p).unwrap();
     }
 
-    let cfg = CiRankConfig { weights: WeightConfig::dblp_default(), ..Default::default() };
+    let cfg = CiRankConfig {
+        weights: WeightConfig::dblp_default(),
+        ..Default::default()
+    };
     let base = Engine::build(&db, cfg.clone()).unwrap();
 
     println!("before feedback:");

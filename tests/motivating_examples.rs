@@ -7,6 +7,15 @@
 //! * "Bloom Wood Mortensen" — CI-Rank must pick the popular movie as the
 //!   free connector while BANKS ties the movies.
 
+// LINT-EXEMPT(tests): integration tests may unwrap/index freely; the
+// workspace lint wall applies to library code only (ISSUE 1).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing
+)]
+
 use ci_graph::WeightConfig;
 use ci_rank::{CiRankConfig, Engine, Ranker};
 use ci_storage::{schemas, Database, Value};
@@ -16,11 +25,16 @@ fn tsimmis_db() -> Database {
     let papa = db
         .insert(t.author, vec![Value::text("Yannis Papakonstantinou")])
         .unwrap();
-    let ullman = db.insert(t.author, vec![Value::text("Jeffrey Ullman")]).unwrap();
+    let ullman = db
+        .insert(t.author, vec![Value::text("Jeffrey Ullman")])
+        .unwrap();
     let mediation = db
         .insert(
             t.paper,
-            vec![Value::text("Capability Based Mediation in TSIMMIS"), Value::int(1997)],
+            vec![
+                Value::text("Capability Based Mediation in TSIMMIS"),
+                Value::int(1997),
+            ],
         )
         .unwrap();
     let project = db
@@ -39,9 +53,13 @@ fn tsimmis_db() -> Database {
     // Citation counts from §II-B: 7 vs 38.
     for i in 0..45 {
         let c = db
-            .insert(t.paper, vec![Value::text(format!("citer number {i}")), Value::int(2005)])
+            .insert(
+                t.paper,
+                vec![Value::text(format!("citer number {i}")), Value::int(2005)],
+            )
             .unwrap();
-        db.link(t.cites, c, if i < 7 { mediation } else { project }).unwrap();
+        db.link(t.cites, c, if i < 7 { mediation } else { project })
+            .unwrap();
     }
     db
 }
@@ -51,7 +69,10 @@ fn tsimmis_example_all_rankers() {
     let db = tsimmis_db();
     let engine = Engine::build(
         &db,
-        CiRankConfig { weights: WeightConfig::dblp_default(), ..Default::default() },
+        CiRankConfig {
+            weights: WeightConfig::dblp_default(),
+            ..Default::default()
+        },
     )
     .unwrap();
     let query = "papakonstantinou ullman";
@@ -88,10 +109,16 @@ fn costar_example_banks_vs_ci() {
         .map(|n| db.insert(t.actor, vec![Value::text(*n)]).unwrap())
         .collect();
     let hit = db
-        .insert(t.movie, vec![Value::text("the golden voyage"), Value::int(2001)])
+        .insert(
+            t.movie,
+            vec![Value::text("the golden voyage"), Value::int(2001)],
+        )
         .unwrap();
     let flop = db
-        .insert(t.movie, vec![Value::text("the hollow orchard"), Value::int(1999)])
+        .insert(
+            t.movie,
+            vec![Value::text("the hollow orchard"), Value::int(1999)],
+        )
         .unwrap();
     for &a in &trio {
         db.link(t.actor_movie, a, hit).unwrap();
@@ -100,14 +127,20 @@ fn costar_example_banks_vs_ci() {
     // Popularity for the hit: many extra credits.
     for i in 0..30 {
         let extra = db
-            .insert(t.actress, vec![Value::text(format!("supporting player {i}"))])
+            .insert(
+                t.actress,
+                vec![Value::text(format!("supporting player {i}"))],
+            )
             .unwrap();
         db.link(t.actress_movie, extra, hit).unwrap();
     }
 
     let engine = Engine::build(
         &db,
-        CiRankConfig { weights: WeightConfig::imdb_default(), ..Default::default() },
+        CiRankConfig {
+            weights: WeightConfig::imdb_default(),
+            ..Default::default()
+        },
     )
     .unwrap();
     let query = "bloomfield woodward mortenhall";
@@ -126,10 +159,7 @@ fn costar_example_banks_vs_ci() {
     let banks = engine.rank(query, &pool, Ranker::Banks).unwrap();
     let stars: Vec<_> = banks
         .iter()
-        .filter(|a| {
-            a.tree.size() == 4
-                && a.nodes.iter().any(|n| n.relation == "movie")
-        })
+        .filter(|a| a.tree.size() == 4 && a.nodes.iter().any(|n| n.relation == "movie"))
         .collect();
     assert!(stars.len() >= 2);
     assert!(

@@ -1,6 +1,15 @@
 //! Cross-crate persistence: a generated database survives dump → load with
 //! identical search behaviour (same graph, same importance, same answers).
 
+// LINT-EXEMPT(tests): integration tests may unwrap/index freely; the
+// workspace lint wall applies to library code only (ISSUE 1).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing
+)]
+
 use ci_datagen::{dblp_workload, generate_dblp, DblpConfig};
 use ci_graph::WeightConfig;
 use ci_rank::{CiRankConfig, Engine};
@@ -22,18 +31,15 @@ fn reloaded_database_searches_identically() {
     assert_eq!(reloaded.tuple_count(), data.db.tuple_count());
     assert_eq!(reloaded.link_count(), data.db.link_count());
 
-    let cfg = CiRankConfig { weights: WeightConfig::dblp_default(), ..Default::default() };
+    let cfg = CiRankConfig {
+        weights: WeightConfig::dblp_default(),
+        ..Default::default()
+    };
     let original = Engine::build(&data.db, cfg.clone()).unwrap();
     let restored = Engine::build(&reloaded, cfg).unwrap();
 
-    assert_eq!(
-        original.graph().node_count(),
-        restored.graph().node_count()
-    );
-    assert_eq!(
-        original.graph().edge_count(),
-        restored.graph().edge_count()
-    );
+    assert_eq!(original.graph().node_count(), restored.graph().node_count());
+    assert_eq!(original.graph().edge_count(), restored.graph().edge_count());
 
     for q in dblp_workload(&data, 8, 3) {
         let query = q.keywords.join(" ");

@@ -2,6 +2,15 @@
 //! produces identical evaluation results — the reproducibility property a
 //! shared benchmark needs.
 
+// LINT-EXEMPT(tests): integration tests may unwrap/index freely; the
+// workspace lint wall applies to library code only (ISSUE 1).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing
+)]
+
 use ci_datagen::{dblp_workload, generate_dblp, load_workload, save_workload, DblpConfig};
 use ci_eval::{effectiveness_runner, JudgeConfig};
 use ci_graph::WeightConfig;
