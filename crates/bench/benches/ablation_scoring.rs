@@ -107,7 +107,8 @@ fn bench(c: &mut Criterion) {
         let opts = SearchOptions {
             k: 5,
             allow_redundant_matchers: allow,
-            max_expansions: Some(ci_bench::BENCH_EXPANSION_CAP),
+            budget: ci_search::QueryBudget::default()
+                .with_max_expansions(ci_bench::BENCH_EXPANSION_CAP),
             ..Default::default()
         };
         group.bench_function(name, |b| {

@@ -1,0 +1,42 @@
+//! Query budgets at the engine level.
+//!
+//! The budget types live in `ci-search` (they are enforced inside the
+//! search loops); this module re-exports them and maps the engine
+//! configuration onto a default per-session budget.
+
+pub use ci_search::{QueryBudget, TruncationReason};
+
+use crate::config::CiRankConfig;
+
+impl CiRankConfig {
+    /// The default per-session [`QueryBudget`] implied by this
+    /// configuration: the branch-and-bound expansion cap when one is set,
+    /// otherwise unlimited (preserving the exactness guarantee). Deadlines
+    /// and memory caps are per-query decisions — set them on the session
+    /// via [`crate::QuerySession::with_budget`].
+    pub fn query_budget(&self) -> QueryBudget {
+        match self.max_expansions {
+            Some(n) => QueryBudget::default().with_max_expansions(n),
+            None => QueryBudget::UNLIMITED,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_maps_expansion_cap_into_the_budget() {
+        let unlimited = CiRankConfig::default();
+        assert!(unlimited.query_budget().is_unlimited());
+        let capped = CiRankConfig {
+            max_expansions: Some(500),
+            ..Default::default()
+        };
+        let b = capped.query_budget();
+        assert_eq!(b.max_expansions, Some(500));
+        assert!(b.deadline.is_none());
+        assert!(!b.is_unlimited());
+    }
+}

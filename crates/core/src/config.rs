@@ -93,7 +93,7 @@ impl CiRankConfig {
             diameter: self.diameter,
             k: self.k,
             max_tree_nodes: self.max_tree_nodes,
-            max_expansions: self.max_expansions,
+            budget: self.query_budget(),
             naive_max_paths: self.naive_max_paths,
             naive_max_combinations: self.naive_max_combinations,
             ..Default::default()

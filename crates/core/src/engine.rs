@@ -1,467 +1,90 @@
 use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
 
-use ci_baselines::BanksPrestige;
-use ci_graph::{build_graph, Graph, NodeId};
-use ci_index::{detect_star_relations, DistanceOracle, NaiveIndex, NoIndex, StarIndex};
-use ci_rwmp::{Dampening, Jtt, Scorer};
-use ci_search::{bnb_search, naive_search, Answer, QuerySpec, SearchStats};
 use ci_storage::Database;
-use ci_text::{tokenize, IndexBuilder, InvertedIndex};
-use ci_walk::{monte_carlo, pagerank, pagerank_personalized, Importance, PowerOptions};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-use crate::config::{CiRankConfig, ImportanceMethod, IndexKind};
-use crate::error::CiRankError;
-use crate::ranker::{rank_pool, Ranker};
+use crate::builder::EngineBuilder;
+use crate::config::CiRankConfig;
+use crate::snapshot::EngineSnapshot;
 use crate::Result;
 
-/// One node of a ranked answer, with display metadata.
-#[derive(Debug, Clone)]
-pub struct AnswerNode {
-    /// The graph node.
-    pub node: NodeId,
-    /// Name of the node's relation (table).
-    pub relation: String,
-    /// The node's text.
-    pub text: String,
-    /// True if the node matches a query keyword (non-free).
-    pub is_matcher: bool,
-}
-
-/// Per-matcher breakdown of an answer's RWMP score (see
-/// [`Engine::explain`]).
-#[derive(Debug, Clone)]
-pub struct ScoreExplanation {
-    /// The non-free node.
-    pub node: NodeId,
-    /// Its text.
-    pub text: String,
-    /// Random-walk importance `p_i`.
-    pub importance: f64,
-    /// Dampening rate `d_i` (Eq. 2).
-    pub dampening: f64,
-    /// Message generation count `r_ii`.
-    pub generation: f64,
-    /// Eq. 3 node score (minimum incoming flow).
-    pub node_score: f64,
-}
-
-/// A scored query answer with human-readable node payloads.
-#[derive(Debug, Clone)]
-pub struct RankedAnswer {
-    /// Ranking score (higher is better). The scale depends on the ranker.
-    pub score: f64,
-    /// The underlying joined tuple tree.
-    pub tree: Jtt,
-    /// Node payloads, aligned with `tree` positions.
-    pub nodes: Vec<AnswerNode>,
-}
-
-impl fmt::Display for RankedAnswer {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{:.4}]", self.score)?;
-        for (i, n) in self.nodes.iter().enumerate() {
-            let marker = if n.is_matcher { "*" } else { "" };
-            if i > 0 {
-                write!(f, " —")?;
-            }
-            write!(f, " {}{}:{:?}", marker, n.relation, n.text)?;
-        }
-        Ok(())
-    }
-}
-
-enum DistIndex {
-    None,
-    Naive(NaiveIndex),
-    Star(StarIndex),
-}
-
-/// The CI-Rank search engine: an immutable, query-ready view of one
-/// database. See the crate docs for an end-to-end example.
+/// The CI-Rank search engine: an [`EngineSnapshot`] behind an `Arc`.
 ///
 /// Build once per database, then issue any number of queries; all query
-/// methods take `&self`.
+/// methods take `&self`. The engine dereferences to its snapshot, so every
+/// [`EngineSnapshot`] method is available directly; clone the engine (or
+/// [`Engine::snapshot`]) to share the same immutable snapshot across
+/// threads — it is `Send + Sync` and queries never block each other. See
+/// the crate docs for an end-to-end example.
+#[derive(Clone)]
 pub struct Engine {
-    cfg: CiRankConfig,
-    graph: Graph,
-    text: InvertedIndex,
-    importance: Importance,
-    prestige: BanksPrestige,
-    dist: DistIndex,
-    node_text: Vec<String>,
-    relation_names: Vec<String>,
+    snapshot: Arc<EngineSnapshot>,
 }
+
+// The façade must stay as shareable as the snapshot it wraps.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Engine>();
+};
 
 impl fmt::Debug for Engine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Engine")
-            .field("nodes", &self.graph.node_count())
-            .field("edges", &self.graph.edge_count())
-            .field("terms", &self.text.term_count())
+            .field("snapshot", &*self.snapshot)
             .finish()
     }
 }
 
+impl Deref for Engine {
+    type Target = EngineSnapshot;
+
+    fn deref(&self) -> &EngineSnapshot {
+        &self.snapshot
+    }
+}
+
+impl From<EngineSnapshot> for Engine {
+    fn from(snapshot: EngineSnapshot) -> Engine {
+        Engine {
+            snapshot: Arc::new(snapshot),
+        }
+    }
+}
+
+impl From<Arc<EngineSnapshot>> for Engine {
+    fn from(snapshot: Arc<EngineSnapshot>) -> Engine {
+        Engine { snapshot }
+    }
+}
+
 impl Engine {
-    /// Builds the engine: maps the database to the data graph, indexes the
-    /// text, solves the random walk, and constructs the configured
-    /// distance index.
+    /// Builds the engine through the staged pipeline: maps the database to
+    /// the data graph, indexes the text, solves the random walk, computes
+    /// the dampening vector, and constructs the configured distance index
+    /// (see [`EngineBuilder`] for the stage-by-stage form).
     pub fn build(db: &Database, cfg: CiRankConfig) -> Result<Engine> {
-        if db.tuple_count() == 0 {
-            return Err(CiRankError::EmptyDatabase);
-        }
-        let graph = build_graph(db, &cfg.weights, cfg.merge.as_ref());
-        let relation_names: Vec<String> = db
-            .table_ids()
-            .map(|t| db.schema(t).map(|s| s.name().to_string()))
-            .collect::<std::result::Result<_, _>>()?;
-
-        // One text document per graph node (merged nodes concatenate their
-        // tuples' text).
-        let mut node_text = Vec::with_capacity(graph.node_count());
-        let mut builder = IndexBuilder::new();
-        for v in graph.nodes() {
-            let mut text = String::new();
-            for &tid in graph.tuples(v) {
-                let t = db.tuple_text(tid)?;
-                if !text.is_empty() {
-                    text.push(' ');
-                }
-                text.push_str(&t);
-            }
-            builder.add_doc(v.0, graph.relation(v), &text);
-            node_text.push(text);
-        }
-        let text = builder.build();
-
-        let importance = match &cfg.importance {
-            ImportanceMethod::PowerIteration => pagerank(
-                &graph,
-                PowerOptions {
-                    teleport: cfg.teleport,
-                    ..Default::default()
-                },
-            ),
-            ImportanceMethod::MonteCarlo {
-                walks_per_node,
-                seed,
-            } => {
-                let mut rng = StdRng::seed_from_u64(*seed);
-                monte_carlo(&graph, cfg.teleport, *walks_per_node, &mut rng)
-            }
-            ImportanceMethod::Personalized(u) => pagerank_personalized(
-                &graph,
-                PowerOptions {
-                    teleport: cfg.teleport,
-                    ..Default::default()
-                },
-                u,
-            ),
-        };
-        let prestige = BanksPrestige::compute(&graph);
-
-        let dist = {
-            let scorer = Scorer::new(
-                &graph,
-                importance.values(),
-                importance.min(),
-                Dampening::Logarithmic {
-                    alpha: cfg.alpha,
-                    g: cfg.g,
-                },
-            );
-            let damp: Vec<f64> = graph.nodes().map(|v| scorer.dampening(v)).collect();
-            match &cfg.index {
-                IndexKind::None => DistIndex::None,
-                IndexKind::Naive => {
-                    DistIndex::Naive(NaiveIndex::build(&graph, &damp, cfg.diameter))
-                }
-                IndexKind::Star { relations } => {
-                    let rels = relations
-                        .clone()
-                        .unwrap_or_else(|| detect_star_relations(&graph));
-                    DistIndex::Star(StarIndex::build(&graph, &damp, cfg.diameter, &rels))
-                }
-            }
-        };
-
-        Ok(Engine {
-            cfg,
-            graph,
-            text,
-            importance,
-            prestige,
-            dist,
-            node_text,
-            relation_names,
-        })
+        Ok(Engine::from(EngineBuilder::new(cfg).build(db)?))
     }
 
-    /// The engine's configuration.
-    pub fn config(&self) -> &CiRankConfig {
-        &self.cfg
+    /// The staged builder with this configuration — for callers that want
+    /// build-progress callbacks.
+    pub fn builder(cfg: CiRankConfig) -> EngineBuilder {
+        EngineBuilder::new(cfg)
     }
 
-    /// The data graph.
-    pub fn graph(&self) -> &Graph {
-        &self.graph
-    }
-
-    /// Node importance values.
-    pub fn importance(&self) -> &Importance {
-        &self.importance
-    }
-
-    /// The inverted text index.
-    pub fn text_index(&self) -> &InvertedIndex {
-        &self.text
-    }
-
-    /// The concatenated text of one graph node.
-    pub fn node_text(&self, v: NodeId) -> &str {
-        self.node_text.get(v.idx()).map_or("", String::as_str)
-    }
-
-    /// The RWMP scorer over this engine's graph and importance.
-    pub fn scorer(&self) -> Scorer<'_> {
-        Scorer::new(
-            &self.graph,
-            self.importance.values(),
-            self.importance.min(),
-            Dampening::Logarithmic {
-                alpha: self.cfg.alpha,
-                g: self.cfg.g,
-            },
-        )
-    }
-
-    /// Parses a query string into distinct keyword tokens.
-    pub fn parse_query(&self, query: &str) -> Result<Vec<String>> {
-        let mut keywords: Vec<String> = Vec::new();
-        for tok in tokenize(query) {
-            if !keywords.contains(&tok) {
-                keywords.push(tok);
-            }
-        }
-        if keywords.is_empty() {
-            return Err(CiRankError::EmptyQuery);
-        }
-        if keywords.len() > 32 {
-            return Err(CiRankError::TooManyKeywords(keywords.len()));
-        }
-        Ok(keywords)
-    }
-
-    /// Resolves a query string against the text index.
-    pub fn query_spec(&self, query: &str) -> Result<QuerySpec> {
-        let keywords = self.parse_query(query)?;
-        let scorer = self.scorer();
-        let mut masks: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
-        for (k, kw) in keywords.iter().enumerate() {
-            for doc in self.text.matching_docs(kw) {
-                *masks.entry(doc).or_insert(0) |= 1 << k;
-            }
-        }
-        let matches: Vec<(NodeId, u32, u32)> = masks
-            .into_iter()
-            .map(|(doc, mask)| (NodeId(doc), mask, self.text.doc_len(doc).max(1)))
-            .collect();
-        Ok(QuerySpec::from_matches(&scorer, keywords, matches))
-    }
-
-    fn run_with_oracle<T>(&self, f: impl FnOnce(&dyn DistanceOracle) -> T) -> T {
-        match &self.dist {
-            DistIndex::None => f(&NoIndex),
-            DistIndex::Naive(ix) => f(ix),
-            DistIndex::Star(ix) => f(&ix.oracle(&self.graph)),
-        }
-    }
-
-    /// Top-k search with the CI-Rank scoring function (branch-and-bound).
-    pub fn search(&self, query: &str) -> Result<Vec<RankedAnswer>> {
-        self.search_with_stats(query).map(|(a, _)| a)
-    }
-
-    /// Like [`Engine::search`], also returning search statistics.
-    pub fn search_with_stats(&self, query: &str) -> Result<(Vec<RankedAnswer>, SearchStats)> {
-        let spec = self.query_spec(query)?;
-        let scorer = self.scorer();
-        let opts = self.cfg.search_options();
-        let (answers, stats) =
-            self.run_with_oracle(|oracle| bnb_search(&scorer, &spec, oracle, &opts));
-        Ok((
-            answers
-                .into_iter()
-                .map(|a| self.to_ranked(&spec, a))
-                .collect(),
-            stats,
-        ))
-    }
-
-    /// Top-k search with the naive algorithm of §IV-A (for the Fig. 10
-    /// comparison). The flag reports whether enumeration caps were hit.
-    pub fn search_naive(&self, query: &str) -> Result<(Vec<RankedAnswer>, bool)> {
-        let spec = self.query_spec(query)?;
-        let scorer = self.scorer();
-        let opts = self.cfg.search_options();
-        let (answers, truncated) = naive_search(&scorer, &spec, &opts);
-        Ok((
-            answers
-                .into_iter()
-                .map(|a| self.to_ranked(&spec, a))
-                .collect(),
-            truncated,
-        ))
-    }
-
-    /// Generates a candidate pool of up to `pool_k` answers (the top
-    /// `pool_k` by CI score, via branch-and-bound). The evaluation harness
-    /// re-ranks this common pool with every competing scoring function,
-    /// mirroring the paper's §VI setup where all rankers score the same
-    /// generated answers.
-    pub fn candidate_pool(&self, query: &str, pool_k: usize) -> Result<Vec<Answer>> {
-        let spec = self.query_spec(query)?;
-        let scorer = self.scorer();
-        let opts = ci_search::SearchOptions {
-            k: pool_k,
-            ..self.cfg.search_options()
-        };
-        let (answers, _) = self.run_with_oracle(|oracle| bnb_search(&scorer, &spec, oracle, &opts));
-        Ok(answers)
-    }
-
-    /// Re-ranks a candidate pool with the chosen ranker.
-    pub fn rank(&self, query: &str, pool: &[Answer], ranker: Ranker) -> Result<Vec<RankedAnswer>> {
-        let spec = self.query_spec(query)?;
-        let scorer = self.scorer();
-        let ranked = rank_pool(
-            &scorer,
-            &spec,
-            &self.text,
-            &self.graph,
-            &self.prestige,
-            pool,
-            ranker,
-        );
-        Ok(ranked
-            .into_iter()
-            .map(|(tree, score)| self.to_ranked(&spec, Answer { tree, score }))
-            .collect())
-    }
-
-    /// Convenience: pool generation plus re-ranking in one call.
-    pub fn search_ranked(
-        &self,
-        query: &str,
-        ranker: Ranker,
-        pool_k: usize,
-    ) -> Result<Vec<RankedAnswer>> {
-        let pool = self.candidate_pool(query, pool_k)?;
-        self.rank(query, &pool, ranker)
-    }
-
-    /// Runs BANKS end to end as an independent search strategy: backward
-    /// expanding search from every matcher (§II-B.2's citation), answers
-    /// scored with the BANKS ranking function at their emission root.
-    /// Provided for completeness alongside [`Engine::rank`]'s
-    /// pool-re-ranking mode, which is what the paper's evaluation uses.
-    pub fn search_banks(&self, query: &str) -> Result<Vec<RankedAnswer>> {
-        let spec = self.query_spec(query)?;
-        if !spec.answerable() {
-            return Ok(Vec::new());
-        }
-        let matchers: Vec<Vec<NodeId>> = (0..spec.keyword_count())
-            .map(|k| spec.matchers_of(k).to_vec())
-            .collect();
-        let banks_cfg = ci_baselines::BanksConfig {
-            max_answers: self.cfg.k * 4,
-            max_hops: self.cfg.diameter,
-            ..Default::default()
-        };
-        let mut answers: Vec<RankedAnswer> =
-            ci_baselines::banks_search(&self.graph, &matchers, &banks_cfg)
-                .into_iter()
-                .map(|(tree, root)| {
-                    let score = ci_baselines::banks_score(
-                        &self.graph,
-                        &self.prestige,
-                        &tree,
-                        root,
-                        banks_cfg.lambda,
-                    );
-                    self.to_ranked(&spec, Answer { tree, score })
-                })
-                .collect();
-        answers.sort_by(|a, b| b.score.total_cmp(&a.score));
-        answers.truncate(self.cfg.k);
-        Ok(answers)
-    }
-
-    /// Explains an answer's RWMP score: per non-free node, the Eq. 3
-    /// minimum incoming flow and the node's own statistics. Returns one
-    /// entry per matcher in tree order.
-    pub fn explain(&self, query: &str, tree: &Jtt) -> Result<Vec<ScoreExplanation>> {
-        let spec = self.query_spec(query)?;
-        let scorer = self.scorer();
-        let bindings: Vec<ci_rwmp::NodeBinding> = (0..tree.size())
-            .filter_map(|pos| {
-                spec.matcher(tree.node(pos)).map(|m| ci_rwmp::NodeBinding {
-                    pos,
-                    match_count: m.match_count,
-                    word_count: m.word_count,
-                })
-            })
-            .collect();
-        if bindings.is_empty() {
-            return Ok(Vec::new());
-        }
-        let score = scorer.score_tree(tree, &bindings);
-        Ok(bindings
-            .iter()
-            .zip(&score.node_scores)
-            .map(|(b, &node_score)| {
-                let node = tree.node(b.pos);
-                ScoreExplanation {
-                    node,
-                    text: self.node_text(node).to_owned(),
-                    importance: self.importance.get(node),
-                    dampening: scorer.dampening(node),
-                    generation: scorer.generation(node, b.match_count, b.word_count),
-                    node_score,
-                }
-            })
-            .collect())
-    }
-
-    fn to_ranked(&self, spec: &QuerySpec, answer: Answer) -> RankedAnswer {
-        let nodes = answer
-            .tree
-            .nodes()
-            .iter()
-            .map(|&v| AnswerNode {
-                node: v,
-                relation: self
-                    .relation_names
-                    .get(self.graph.relation(v) as usize)
-                    .cloned()
-                    .unwrap_or_else(|| format!("rel{}", self.graph.relation(v))),
-                text: self.node_text(v).to_owned(),
-                is_matcher: spec.matcher(v).is_some(),
-            })
-            .collect();
-        RankedAnswer {
-            score: answer.score,
-            tree: answer.tree,
-            nodes,
-        }
+    /// The shared snapshot; clone the `Arc` to hand the same immutable
+    /// view to another thread.
+    pub fn snapshot(&self) -> &Arc<EngineSnapshot> {
+        &self.snapshot
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::{ImportanceMethod, IndexKind};
+    use crate::error::CiRankError;
     use ci_graph::WeightConfig;
     use ci_storage::{schemas, Value};
 
@@ -569,8 +192,8 @@ mod tests {
     fn naive_and_bnb_agree_end_to_end() {
         let e = engine();
         let bnb = e.search("papakonstantinou ullman").unwrap();
-        let (naive, truncated) = e.search_naive("papakonstantinou ullman").unwrap();
-        assert!(!truncated);
+        let (naive, stats) = e.search_naive("papakonstantinou ullman").unwrap();
+        assert!(!stats.truncated());
         assert_eq!(bnb.len(), naive.len());
         for (a, b) in bnb.iter().zip(&naive) {
             assert!((a.score - b.score).abs() < 1e-9);
@@ -720,6 +343,130 @@ mod tests {
         assert!(
             top_paper.text.contains("Capability"),
             "feedback bias flips the ranking"
+        );
+    }
+
+    #[test]
+    fn dampening_vector_shared_by_scorer_index_and_explain() {
+        // The snapshot stores the dampening rates once; the scorer serves
+        // them verbatim, a fresh on-demand scorer agrees bit-for-bit, and
+        // explanations expose the same values.
+        let e = engine();
+        let stored = e.dampening_vector();
+        assert_eq!(stored.len(), e.graph().node_count());
+        let scorer = e.scorer();
+        let fresh = ci_rwmp::Scorer::new(
+            e.graph(),
+            e.importance().values(),
+            e.importance().min(),
+            ci_rwmp::Dampening::Logarithmic {
+                alpha: e.config().alpha,
+                g: e.config().g,
+            },
+        );
+        for v in e.graph().nodes() {
+            assert_eq!(stored[v.idx()], scorer.dampening(v));
+            assert_eq!(stored[v.idx()], fresh.dampening(v));
+        }
+        let answers = e.search("papakonstantinou ullman").unwrap();
+        for x in e
+            .explain("papakonstantinou ullman", &answers[0].tree)
+            .unwrap()
+        {
+            assert_eq!(x.dampening, stored[x.node.idx()]);
+        }
+    }
+
+    #[test]
+    fn query_spec_is_deterministic() {
+        // Satellite of the snapshot refactor: matcher resolution sorts by
+        // node id, so repeated resolution yields identical specs (the
+        // HashMap it draws from has no iteration-order guarantee).
+        let e = engine();
+        let a = e.query_spec("papakonstantinou ullman tsimmis").unwrap();
+        for _ in 0..10 {
+            let b = e.query_spec("papakonstantinou ullman tsimmis").unwrap();
+            assert_eq!(a.matchers_sorted(), b.matchers_sorted());
+            assert_eq!(
+                a.keywords(),
+                b.keywords(),
+                "keyword order is input order, not map order"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_query_enforces_the_keyword_cap() {
+        // 32 distinct keywords pass; 33 trip TooManyKeywords (the u32
+        // keyword-mask width, see ci_search::MAX_KEYWORDS).
+        let e = engine();
+        let q32 = (0..32)
+            .map(|i| format!("kw{i}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        assert_eq!(e.parse_query(&q32).unwrap().len(), 32);
+        let q33 = (0..33)
+            .map(|i| format!("kw{i}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        assert_eq!(
+            e.parse_query(&q33).unwrap_err(),
+            CiRankError::TooManyKeywords(33)
+        );
+    }
+
+    #[test]
+    fn session_budget_truncates_but_stays_valid() {
+        // An already-expired deadline must deterministically yield a
+        // truncated (possibly empty) but valid result, never an error.
+        let e = engine();
+        let session = e
+            .session()
+            .with_budget(crate::QueryBudget::default().with_timeout(std::time::Duration::ZERO));
+        let (answers, stats) = session
+            .search_with_stats("papakonstantinou ullman")
+            .unwrap();
+        assert_eq!(
+            stats.truncation,
+            Some(crate::TruncationReason::Deadline),
+            "expired deadline must be reported"
+        );
+        for a in &answers {
+            assert!(a.score.is_finite());
+            assert!(!a.nodes.is_empty());
+        }
+        // A generous budget returns the full answer set with no truncation.
+        let generous = e
+            .session()
+            .with_budget(crate::QueryBudget::default().with_max_expansions(1_000_000));
+        let (full, stats) = generous
+            .search_with_stats("papakonstantinou ullman")
+            .unwrap();
+        assert!(stats.truncation.is_none());
+        assert_eq!(full.len(), 2);
+    }
+
+    #[test]
+    fn session_oracle_cache_fills_across_runs() {
+        let e = engine();
+        let session = e.session();
+        assert!(session.oracle_cache().is_empty());
+        session.search("papakonstantinou ullman").unwrap();
+        let after_first = session.oracle_cache().len();
+        assert!(after_first > 0, "bnb probes the oracle through the cache");
+        // A repeat of the same query adds no new pairs.
+        session.search("papakonstantinou ullman").unwrap();
+        assert_eq!(session.oracle_cache().len(), after_first);
+    }
+
+    #[test]
+    fn cloned_engines_share_one_snapshot() {
+        let e = engine();
+        let e2 = e.clone();
+        assert!(Arc::ptr_eq(e.snapshot(), e2.snapshot()));
+        assert_eq!(
+            e.search("tsimmis").unwrap().len(),
+            e2.search("tsimmis").unwrap().len()
         );
     }
 }

@@ -22,6 +22,28 @@
 //! * `ci-index` — naive and star indexing (§V);
 //! * `ci-baselines` — DISCOVER2, SPARK, and BANKS for comparison.
 //!
+//! # Lifecycle: builder → snapshot → session
+//!
+//! Construction and querying are separate layers:
+//!
+//! 1. [`EngineBuilder`] runs the staged build pipeline (graph → text
+//!    index → importance → prestige → dampening → distance index) and
+//!    produces an…
+//! 2. [`EngineSnapshot`] — an immutable, `Send + Sync`, query-ready view
+//!    of one database. The snapshot owns everything queries share: the
+//!    graph, the text index, the importance/prestige vectors, the
+//!    precomputed dampening rates, and the distance index. Share it
+//!    across threads behind an `Arc`; every query method takes `&self`.
+//! 3. [`QuerySession`] holds what a single caller must *not* share:
+//!    the per-query [`QueryBudget`] (expansion / wall-clock /
+//!    candidate-memory limits, reported uniformly through
+//!    [`ci_search::SearchStats::truncation`]) and a memo cache for
+//!    distance-oracle probes.
+//!
+//! [`Engine`] is the convenience façade: an `Arc<EngineSnapshot>` that
+//! dereferences to the snapshot, so the three layers collapse to
+//! `Engine::build(..)` + `engine.search(..)` when the defaults fit.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -63,16 +85,24 @@
     )
 )]
 
+mod budget;
+mod builder;
 mod config;
 mod engine;
 mod error;
 pub mod feedback;
 mod ranker;
+mod session;
+mod snapshot;
 
+pub use budget::{QueryBudget, TruncationReason};
+pub use builder::{BuildStage, EngineBuilder};
 pub use config::{CiRankConfig, ImportanceMethod, IndexKind};
-pub use engine::{AnswerNode, Engine, RankedAnswer, ScoreExplanation};
+pub use engine::Engine;
 pub use error::CiRankError;
 pub use ranker::Ranker;
+pub use session::QuerySession;
+pub use snapshot::{AnswerNode, EngineSnapshot, RankedAnswer, ScoreExplanation};
 
 /// Convenience alias.
 pub type Result<T> = std::result::Result<T, CiRankError>;

@@ -1,0 +1,163 @@
+use ci_index::{DistanceOracle, OracleVisitor};
+use ci_rwmp::Scorer;
+use ci_search::{
+    bnb_search, naive_search, Answer, CachedOracle, OracleCache, QueryBudget, QuerySpec,
+    SearchOptions, SearchStats,
+};
+
+use crate::snapshot::{EngineSnapshot, RankedAnswer};
+use crate::Result;
+
+/// Per-query mutable state over an immutable [`EngineSnapshot`].
+///
+/// A session owns everything a single caller needs that the shared
+/// snapshot must not: the [`SearchOptions`] (including the
+/// [`QueryBudget`] — expansion, wall-clock, and candidate-memory limits)
+/// and an [`OracleCache`] that memoizes distance-oracle probes across the
+/// session's runs. Sessions are cheap to create and intentionally
+/// `!Sync`; snapshots are what cross threads, one session per thread.
+///
+/// ```
+/// # use ci_rank::{CiRankConfig, Engine, QueryBudget};
+/// # use ci_storage::{schemas, Value};
+/// # use ci_graph::WeightConfig;
+/// # let (mut db, t) = schemas::dblp();
+/// # let a = db.insert(t.author, vec![Value::text("Yu")]).unwrap();
+/// # let p = db.insert(t.paper, vec![Value::text("CI-Rank"), Value::int(2012)]).unwrap();
+/// # db.link(t.author_paper, a, p).unwrap();
+/// # let engine = Engine::build(&db, CiRankConfig {
+/// #     weights: WeightConfig::dblp_default(), ..Default::default()
+/// # }).unwrap();
+/// let session = engine
+///     .session()
+///     .with_budget(QueryBudget::default().with_max_expansions(10_000));
+/// let (answers, stats) = session.search_with_stats("yu").unwrap();
+/// assert!(!answers.is_empty());
+/// assert!(!stats.truncated());
+/// ```
+pub struct QuerySession<'s> {
+    snap: &'s EngineSnapshot,
+    opts: SearchOptions,
+    cache: OracleCache,
+}
+
+impl<'s> QuerySession<'s> {
+    pub(crate) fn new(snap: &'s EngineSnapshot) -> Self {
+        QuerySession {
+            snap,
+            opts: snap.config().search_options(),
+            cache: OracleCache::new(),
+        }
+    }
+
+    /// The snapshot this session queries.
+    pub fn snapshot(&self) -> &'s EngineSnapshot {
+        self.snap
+    }
+
+    /// Replaces the session's resource budget.
+    pub fn with_budget(mut self, budget: QueryBudget) -> Self {
+        self.opts.budget = budget;
+        self
+    }
+
+    /// Replaces the session's search options wholesale.
+    pub fn with_options(mut self, opts: SearchOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// The session's current search options.
+    pub fn options(&self) -> &SearchOptions {
+        &self.opts
+    }
+
+    /// The session's oracle cache (diagnostics: distinct pairs probed so
+    /// far).
+    pub fn oracle_cache(&self) -> &OracleCache {
+        &self.cache
+    }
+
+    /// Branch-and-bound top-k under this session's options and budget,
+    /// returning raw answers plus statistics.
+    pub fn run_bnb(&self, spec: &QuerySpec) -> (Vec<Answer>, SearchStats) {
+        let scorer = self.snap.scorer();
+        self.snap.with_oracle(BnbRun {
+            scorer: &scorer,
+            spec,
+            opts: &self.opts,
+            cache: &self.cache,
+        })
+    }
+
+    /// Top-k search with the CI-Rank scoring function (branch-and-bound).
+    pub fn search(&self, query: &str) -> Result<Vec<RankedAnswer>> {
+        self.search_with_stats(query).map(|(a, _)| a)
+    }
+
+    /// Like [`QuerySession::search`], also returning search statistics
+    /// (including [`SearchStats::truncation`] when the budget cut the run
+    /// short).
+    pub fn search_with_stats(&self, query: &str) -> Result<(Vec<RankedAnswer>, SearchStats)> {
+        let spec = self.snap.query_spec(query)?;
+        let (answers, stats) = self.run_bnb(&spec);
+        Ok((
+            answers
+                .into_iter()
+                .map(|a| self.snap.to_ranked(&spec, a))
+                .collect(),
+            stats,
+        ))
+    }
+
+    /// Top-k search with the naive algorithm of §IV-A.
+    pub fn search_naive(&self, query: &str) -> Result<(Vec<RankedAnswer>, SearchStats)> {
+        let spec = self.snap.query_spec(query)?;
+        let scorer = self.snap.scorer();
+        let (answers, stats) = naive_search(&scorer, &spec, &self.opts);
+        Ok((
+            answers
+                .into_iter()
+                .map(|a| self.snap.to_ranked(&spec, a))
+                .collect(),
+            stats,
+        ))
+    }
+
+    /// Generates a candidate pool of up to `pool_k` answers via
+    /// branch-and-bound (see [`EngineSnapshot::candidate_pool`]).
+    pub fn candidate_pool(&self, query: &str, pool_k: usize) -> Result<Vec<Answer>> {
+        let spec = self.snap.query_spec(query)?;
+        let scorer = self.snap.scorer();
+        let opts = SearchOptions {
+            k: pool_k,
+            ..self.opts.clone()
+        };
+        let (answers, _) = self.snap.with_oracle(BnbRun {
+            scorer: &scorer,
+            spec: &spec,
+            opts: &opts,
+            cache: &self.cache,
+        });
+        Ok(answers)
+    }
+}
+
+/// The monomorphizing search launcher: receives the snapshot's oracle at
+/// its concrete type, layers the session's memo cache on top, and runs
+/// branch-and-bound — bound probes inline all the way down.
+struct BnbRun<'a> {
+    scorer: &'a Scorer<'a>,
+    spec: &'a QuerySpec,
+    opts: &'a SearchOptions,
+    cache: &'a OracleCache,
+}
+
+impl OracleVisitor for BnbRun<'_> {
+    type Output = (Vec<Answer>, SearchStats);
+
+    fn visit<O: DistanceOracle>(self, oracle: &O) -> Self::Output {
+        let cached = CachedOracle::with_store(oracle, self.cache);
+        bnb_search(self.scorer, self.spec, &cached, self.opts)
+    }
+}

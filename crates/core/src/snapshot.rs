@@ -1,0 +1,408 @@
+use std::fmt;
+
+use ci_baselines::BanksPrestige;
+use ci_graph::{Graph, NodeId};
+use ci_index::{DistIndex, OracleVisitor};
+use ci_rwmp::{Dampening, Jtt, Scorer};
+use ci_search::{Answer, QuerySpec, SearchStats, MAX_KEYWORDS};
+use ci_storage::Database;
+use ci_text::{tokenize, InvertedIndex};
+use ci_walk::Importance;
+
+use crate::builder::EngineBuilder;
+use crate::config::CiRankConfig;
+use crate::error::CiRankError;
+use crate::ranker::{rank_pool, Ranker};
+use crate::session::QuerySession;
+use crate::Result;
+
+/// One node of a ranked answer, with display metadata.
+#[derive(Debug, Clone)]
+pub struct AnswerNode {
+    /// The graph node.
+    pub node: NodeId,
+    /// Name of the node's relation (table).
+    pub relation: String,
+    /// The node's text.
+    pub text: String,
+    /// True if the node matches a query keyword (non-free).
+    pub is_matcher: bool,
+}
+
+/// Per-matcher breakdown of an answer's RWMP score (see
+/// [`EngineSnapshot::explain`]).
+#[derive(Debug, Clone)]
+pub struct ScoreExplanation {
+    /// The non-free node.
+    pub node: NodeId,
+    /// Its text.
+    pub text: String,
+    /// Random-walk importance `p_i`.
+    pub importance: f64,
+    /// Dampening rate `d_i` (Eq. 2).
+    pub dampening: f64,
+    /// Message generation count `r_ii`.
+    pub generation: f64,
+    /// Eq. 3 node score (minimum incoming flow).
+    pub node_score: f64,
+}
+
+/// A scored query answer with human-readable node payloads.
+#[derive(Debug, Clone)]
+pub struct RankedAnswer {
+    /// Ranking score (higher is better). The scale depends on the ranker.
+    pub score: f64,
+    /// The underlying joined tuple tree.
+    pub tree: Jtt,
+    /// Node payloads, aligned with `tree` positions.
+    pub nodes: Vec<AnswerNode>,
+}
+
+impl fmt::Display for RankedAnswer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:.4}]", self.score)?;
+        for (i, n) in self.nodes.iter().enumerate() {
+            let marker = if n.is_matcher { "*" } else { "" };
+            if i > 0 {
+                write!(f, " —")?;
+            }
+            write!(f, " {}{}:{:?}", marker, n.relation, n.text)?;
+        }
+        Ok(())
+    }
+}
+
+/// An immutable, query-ready view of one database: the data graph, text
+/// index, importance and prestige vectors, the precomputed dampening
+/// rates, and the configured distance index.
+///
+/// Snapshots are produced by [`EngineBuilder`]'s staged pipeline, never
+/// mutated afterwards, and are `Send + Sync` — wrap one in an
+/// [`std::sync::Arc`] and serve queries from as many threads as you like;
+/// every query method takes `&self`. Per-query mutable state (budgets,
+/// oracle caches) lives in [`QuerySession`], created per thread via
+/// [`EngineSnapshot::session`].
+pub struct EngineSnapshot {
+    cfg: CiRankConfig,
+    graph: Graph,
+    text: InvertedIndex,
+    importance: Importance,
+    prestige: BanksPrestige,
+    /// Per-node dampening rates (Eq. 2), computed once at build time and
+    /// shared by the scorer, the distance index build, and `explain`.
+    damp: Vec<f64>,
+    dist: DistIndex,
+    node_text: Vec<String>,
+    relation_names: Vec<String>,
+}
+
+// Compile-time proof that snapshots can be shared across threads; the
+// concurrency integration test exercises this at runtime.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<EngineSnapshot>();
+};
+
+impl fmt::Debug for EngineSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EngineSnapshot")
+            .field("nodes", &self.graph.node_count())
+            .field("edges", &self.graph.edge_count())
+            .field("terms", &self.text.term_count())
+            .field("index", &self.dist.kind())
+            .finish()
+    }
+}
+
+impl EngineSnapshot {
+    /// Runs the staged build pipeline — shorthand for
+    /// [`EngineBuilder::new`] + [`EngineBuilder::build`].
+    pub fn build(db: &Database, cfg: CiRankConfig) -> Result<EngineSnapshot> {
+        EngineBuilder::new(cfg).build(db)
+    }
+
+    /// Final assembly from the builder's stage outputs.
+    #[allow(clippy::too_many_arguments)] // one argument per pipeline stage
+    pub(crate) fn assemble(
+        cfg: CiRankConfig,
+        graph: Graph,
+        text: InvertedIndex,
+        importance: Importance,
+        prestige: BanksPrestige,
+        damp: Vec<f64>,
+        dist: DistIndex,
+        node_text: Vec<String>,
+        relation_names: Vec<String>,
+    ) -> EngineSnapshot {
+        debug_assert_eq!(damp.len(), graph.node_count());
+        EngineSnapshot {
+            cfg,
+            graph,
+            text,
+            importance,
+            prestige,
+            damp,
+            dist,
+            node_text,
+            relation_names,
+        }
+    }
+
+    /// The snapshot's configuration.
+    pub fn config(&self) -> &CiRankConfig {
+        &self.cfg
+    }
+
+    /// The data graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Node importance values.
+    pub fn importance(&self) -> &Importance {
+        &self.importance
+    }
+
+    /// The inverted text index.
+    pub fn text_index(&self) -> &InvertedIndex {
+        &self.text
+    }
+
+    /// The precomputed per-node dampening rates (Eq. 2).
+    pub fn dampening_vector(&self) -> &[f64] {
+        &self.damp
+    }
+
+    /// The distance index backing the search.
+    pub fn dist_index(&self) -> &DistIndex {
+        &self.dist
+    }
+
+    /// The concatenated text of one graph node.
+    pub fn node_text(&self, v: NodeId) -> &str {
+        self.node_text.get(v.idx()).map_or("", String::as_str)
+    }
+
+    /// Display name of a node's relation (table).
+    pub(crate) fn relation_name(&self, v: NodeId) -> String {
+        self.relation_names
+            .get(self.graph.relation(v) as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("rel{}", self.graph.relation(v)))
+    }
+
+    /// The RWMP scorer over this snapshot's graph and importance, reading
+    /// the snapshot's precomputed dampening vector.
+    pub fn scorer(&self) -> Scorer<'_> {
+        Scorer::with_dampening_vector(
+            &self.graph,
+            self.importance.values(),
+            self.importance.min(),
+            Dampening::Logarithmic {
+                alpha: self.cfg.alpha,
+                g: self.cfg.g,
+            },
+            &self.damp,
+        )
+    }
+
+    /// Resolves the distance index to a concretely-typed oracle and hands
+    /// it to the visitor — the single `match` over index kinds on the
+    /// query path (everything past it is monomorphized).
+    pub fn with_oracle<V: OracleVisitor>(&self, visitor: V) -> V::Output {
+        self.dist.with_oracle(&self.graph, visitor)
+    }
+
+    /// Opens a query session: per-query budget and oracle cache over this
+    /// snapshot. Sessions are cheap; create one per thread or per query.
+    pub fn session(&self) -> QuerySession<'_> {
+        QuerySession::new(self)
+    }
+
+    /// Parses a query string into distinct keyword tokens.
+    pub fn parse_query(&self, query: &str) -> Result<Vec<String>> {
+        let mut keywords: Vec<String> = Vec::new();
+        for tok in tokenize(query) {
+            if !keywords.contains(&tok) {
+                keywords.push(tok);
+            }
+        }
+        if keywords.is_empty() {
+            return Err(CiRankError::EmptyQuery);
+        }
+        if keywords.len() > MAX_KEYWORDS {
+            return Err(CiRankError::TooManyKeywords(keywords.len()));
+        }
+        Ok(keywords)
+    }
+
+    /// Resolves a query string against the text index.
+    ///
+    /// Matches are sorted by node id before the spec is built, so the
+    /// resulting spec — and therefore tie-broken answer order — is
+    /// deterministic regardless of hash-map iteration order.
+    pub fn query_spec(&self, query: &str) -> Result<QuerySpec> {
+        let keywords = self.parse_query(query)?;
+        let scorer = self.scorer();
+        let mut masks: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        for (k, kw) in keywords.iter().enumerate() {
+            for doc in self.text.matching_docs(kw) {
+                *masks.entry(doc).or_insert(0) |= 1 << k;
+            }
+        }
+        let mut matches: Vec<(NodeId, u32, u32)> = masks
+            .into_iter()
+            .map(|(doc, mask)| (NodeId(doc), mask, self.text.doc_len(doc).max(1)))
+            .collect();
+        matches.sort_unstable_by_key(|&(v, _, _)| v.0);
+        Ok(QuerySpec::from_matches(&scorer, keywords, matches))
+    }
+
+    /// Top-k search with the CI-Rank scoring function (branch-and-bound).
+    pub fn search(&self, query: &str) -> Result<Vec<RankedAnswer>> {
+        self.search_with_stats(query).map(|(a, _)| a)
+    }
+
+    /// Like [`EngineSnapshot::search`], also returning search statistics.
+    pub fn search_with_stats(&self, query: &str) -> Result<(Vec<RankedAnswer>, SearchStats)> {
+        self.session().search_with_stats(query)
+    }
+
+    /// Top-k search with the naive algorithm of §IV-A (for the Fig. 10
+    /// comparison). The stats report whether enumeration caps or the
+    /// budget cut the run short.
+    pub fn search_naive(&self, query: &str) -> Result<(Vec<RankedAnswer>, SearchStats)> {
+        self.session().search_naive(query)
+    }
+
+    /// Generates a candidate pool of up to `pool_k` answers (the top
+    /// `pool_k` by CI score, via branch-and-bound). The evaluation harness
+    /// re-ranks this common pool with every competing scoring function,
+    /// mirroring the paper's §VI setup where all rankers score the same
+    /// generated answers.
+    pub fn candidate_pool(&self, query: &str, pool_k: usize) -> Result<Vec<Answer>> {
+        self.session().candidate_pool(query, pool_k)
+    }
+
+    /// Re-ranks a candidate pool with the chosen ranker.
+    pub fn rank(&self, query: &str, pool: &[Answer], ranker: Ranker) -> Result<Vec<RankedAnswer>> {
+        let spec = self.query_spec(query)?;
+        let scorer = self.scorer();
+        let ranked = rank_pool(
+            &scorer,
+            &spec,
+            &self.text,
+            &self.graph,
+            &self.prestige,
+            pool,
+            ranker,
+        );
+        Ok(ranked
+            .into_iter()
+            .map(|(tree, score)| self.to_ranked(&spec, Answer { tree, score }))
+            .collect())
+    }
+
+    /// Convenience: pool generation plus re-ranking in one call.
+    pub fn search_ranked(
+        &self,
+        query: &str,
+        ranker: Ranker,
+        pool_k: usize,
+    ) -> Result<Vec<RankedAnswer>> {
+        let pool = self.candidate_pool(query, pool_k)?;
+        self.rank(query, &pool, ranker)
+    }
+
+    /// Runs BANKS end to end as an independent search strategy: backward
+    /// expanding search from every matcher (§II-B.2's citation), answers
+    /// scored with the BANKS ranking function at their emission root.
+    /// Provided for completeness alongside [`EngineSnapshot::rank`]'s
+    /// pool-re-ranking mode, which is what the paper's evaluation uses.
+    pub fn search_banks(&self, query: &str) -> Result<Vec<RankedAnswer>> {
+        let spec = self.query_spec(query)?;
+        if !spec.answerable() {
+            return Ok(Vec::new());
+        }
+        let matchers: Vec<Vec<NodeId>> = (0..spec.keyword_count())
+            .map(|k| spec.matchers_of(k).to_vec())
+            .collect();
+        let banks_cfg = ci_baselines::BanksConfig {
+            max_answers: self.cfg.k * 4,
+            max_hops: self.cfg.diameter,
+            ..Default::default()
+        };
+        let mut answers: Vec<RankedAnswer> =
+            ci_baselines::banks_search(&self.graph, &matchers, &banks_cfg)
+                .into_iter()
+                .map(|(tree, root)| {
+                    let score = ci_baselines::banks_score(
+                        &self.graph,
+                        &self.prestige,
+                        &tree,
+                        root,
+                        banks_cfg.lambda,
+                    );
+                    self.to_ranked(&spec, Answer { tree, score })
+                })
+                .collect();
+        answers.sort_by(|a, b| b.score.total_cmp(&a.score));
+        answers.truncate(self.cfg.k);
+        Ok(answers)
+    }
+
+    /// Explains an answer's RWMP score: per non-free node, the Eq. 3
+    /// minimum incoming flow and the node's own statistics. Returns one
+    /// entry per matcher in tree order.
+    pub fn explain(&self, query: &str, tree: &Jtt) -> Result<Vec<ScoreExplanation>> {
+        let spec = self.query_spec(query)?;
+        let scorer = self.scorer();
+        let bindings: Vec<ci_rwmp::NodeBinding> = (0..tree.size())
+            .filter_map(|pos| {
+                spec.matcher(tree.node(pos)).map(|m| ci_rwmp::NodeBinding {
+                    pos,
+                    match_count: m.match_count,
+                    word_count: m.word_count,
+                })
+            })
+            .collect();
+        if bindings.is_empty() {
+            return Ok(Vec::new());
+        }
+        let score = scorer.score_tree(tree, &bindings);
+        Ok(bindings
+            .iter()
+            .zip(&score.node_scores)
+            .map(|(b, &node_score)| {
+                let node = tree.node(b.pos);
+                ScoreExplanation {
+                    node,
+                    text: self.node_text(node).to_owned(),
+                    importance: self.importance.get(node),
+                    dampening: scorer.dampening(node),
+                    generation: scorer.generation(node, b.match_count, b.word_count),
+                    node_score,
+                }
+            })
+            .collect())
+    }
+
+    pub(crate) fn to_ranked(&self, spec: &QuerySpec, answer: Answer) -> RankedAnswer {
+        let nodes = answer
+            .tree
+            .nodes()
+            .iter()
+            .map(|&v| AnswerNode {
+                node: v,
+                relation: self.relation_name(v),
+                text: self.node_text(v).to_owned(),
+                is_matcher: spec.matcher(v).is_some(),
+            })
+            .collect();
+        RankedAnswer {
+            score: answer.score,
+            tree: answer.tree,
+            nodes,
+        }
+    }
+}

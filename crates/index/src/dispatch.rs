@@ -1,0 +1,125 @@
+use ci_graph::Graph;
+
+use crate::naive::NaiveIndex;
+use crate::oracle::{DistanceOracle, NoIndex};
+use crate::star::StarIndex;
+
+/// The index configurations of §V as one owned value.
+///
+/// An engine snapshot stores a `DistIndex`; at query time the variant is
+/// matched **once** through [`DistIndex::with_oracle`], handing the visitor
+/// a concretely-typed oracle. Everything downstream (the branch-and-bound
+/// inner loop, the bound computations) is generic over
+/// [`DistanceOracle`], so `dist_lb` / `retention_ub` inline — no virtual
+/// dispatch per probe, and `cargo xtask lint` rejects `dyn DistanceOracle`
+/// reappearing on that hot path.
+#[derive(Default)]
+pub enum DistIndex {
+    /// No index: the un-indexed "Upbound search" configuration.
+    #[default]
+    None,
+    /// §V-A all-pairs naive index.
+    Naive(NaiveIndex),
+    /// §V-B star index (bounds recovered via star neighbors).
+    Star(StarIndex),
+}
+
+impl DistIndex {
+    /// Short human-readable tag for logs and CLI output.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DistIndex::None => "none",
+            DistIndex::Naive(_) => "naive",
+            DistIndex::Star(_) => "star",
+        }
+    }
+
+    /// Resolves the variant to a concrete oracle and passes it to the
+    /// visitor — the single `match` over index kinds in the query path.
+    ///
+    /// A trait with a generic method (rather than a closure) because each
+    /// arm instantiates `visit` at a *different* oracle type; `graph` is
+    /// needed to assemble the star oracle's lookup context.
+    pub fn with_oracle<V: OracleVisitor>(&self, graph: &Graph, visitor: V) -> V::Output {
+        match self {
+            DistIndex::None => visitor.visit(&NoIndex),
+            DistIndex::Naive(idx) => visitor.visit(idx),
+            DistIndex::Star(idx) => visitor.visit(&idx.oracle(graph)),
+        }
+    }
+}
+
+/// Monomorphizing callback for [`DistIndex::with_oracle`].
+///
+/// Implementors receive the oracle at its concrete type, so bound lookups
+/// inside `visit` compile to direct (inlinable) calls.
+pub trait OracleVisitor {
+    /// Value returned through [`DistIndex::with_oracle`].
+    type Output;
+
+    /// Runs with the resolved oracle.
+    fn visit<O: DistanceOracle>(self, oracle: &O) -> Self::Output;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ci_graph::{GraphBuilder, NodeId};
+
+    fn path_graph() -> Graph {
+        // a0 — m0 — a1 (relation 1 is the star table).
+        let mut b = GraphBuilder::new();
+        let a0 = b.add_node(0, vec![]);
+        let m0 = b.add_node(1, vec![]);
+        let a1 = b.add_node(0, vec![]);
+        b.add_pair(a0, m0, 1.0, 1.0);
+        b.add_pair(a1, m0, 1.0, 1.0);
+        b.build()
+    }
+
+    struct Probe {
+        u: NodeId,
+        v: NodeId,
+    }
+
+    impl OracleVisitor for Probe {
+        type Output = (u32, f64);
+
+        fn visit<O: DistanceOracle>(self, oracle: &O) -> (u32, f64) {
+            (
+                oracle.dist_lb(self.u, self.v),
+                oracle.retention_ub(self.u, self.v),
+            )
+        }
+    }
+
+    #[test]
+    fn dispatches_every_variant() {
+        let g = path_graph();
+        let damp = vec![0.5, 0.5, 0.5];
+        let probe = || Probe {
+            u: NodeId(0),
+            v: NodeId(2),
+        };
+
+        let none = DistIndex::None;
+        assert_eq!(none.kind(), "none");
+        assert_eq!(none.with_oracle(&g, probe()), (0, 1.0));
+
+        let naive = DistIndex::Naive(NaiveIndex::build(&g, &damp, 4));
+        assert_eq!(naive.kind(), "naive");
+        let (d, r) = naive.with_oracle(&g, probe());
+        assert_eq!(d, 2);
+        assert!(r <= 0.25 + 1e-12);
+
+        let star = DistIndex::Star(StarIndex::build(&g, &damp, 4, &[1]));
+        assert_eq!(star.kind(), "star");
+        let (d, _) = star.with_oracle(&g, probe());
+        assert_eq!(d, 2);
+    }
+
+    #[test]
+    fn default_is_no_index() {
+        assert_eq!(DistIndex::default().kind(), "none");
+    }
+}

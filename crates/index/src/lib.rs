@@ -66,10 +66,12 @@
 #![deny(clippy::cast_possible_truncation, clippy::float_cmp)]
 #![cfg_attr(test, allow(clippy::cast_possible_truncation, clippy::float_cmp))]
 
+mod dispatch;
 mod naive;
 mod oracle;
 mod star;
 
+pub use dispatch::{DistIndex, OracleVisitor};
 pub use naive::NaiveIndex;
 pub use oracle::{DistanceOracle, NoIndex};
 pub use star::{detect_star_relations, StarIndex, StarOracle};

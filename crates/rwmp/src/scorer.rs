@@ -34,6 +34,10 @@ pub struct Scorer<'g> {
     p_max: f64,
     t: f64,
     dampening: Dampening,
+    /// Precomputed per-node dampening rates, when the owner (an engine
+    /// snapshot) has materialized them once; `None` falls back to computing
+    /// the Eq. 2 formula on demand.
+    damp: Option<&'g [f64]>,
 }
 
 impl<'g> Scorer<'g> {
@@ -54,7 +58,37 @@ impl<'g> Scorer<'g> {
             p_max,
             t: 1.0 / p_min,
             dampening,
+            damp: None,
         }
+    }
+
+    /// Like [`Scorer::new`], but [`Scorer::dampening`] reads from the given
+    /// precomputed per-node vector instead of re-deriving Eq. 2 on every
+    /// call. `damp` must be `dampening_vector()`-equivalent: one rate per
+    /// node, computed with the same `dampening` configuration — the engine
+    /// snapshot computes it once and shares it between scoring, the
+    /// distance indexes, and score explanations.
+    pub fn with_dampening_vector(
+        graph: &'g Graph,
+        p: &'g [f64],
+        p_min: f64,
+        dampening: Dampening,
+        damp: &'g [f64],
+    ) -> Self {
+        assert_eq!(
+            damp.len(),
+            graph.node_count(),
+            "dampening vector length mismatch"
+        );
+        let mut s = Scorer::new(graph, p, p_min, dampening);
+        s.damp = Some(damp);
+        s
+    }
+
+    /// Materializes the per-node dampening rates (Eq. 2) as a vector, for
+    /// index builds and for [`Scorer::with_dampening_vector`].
+    pub fn dampening_vector(&self) -> Vec<f64> {
+        self.graph.nodes().map(|v| self.dampening(v)).collect()
     }
 
     /// The underlying graph.
@@ -73,9 +107,15 @@ impl<'g> Scorer<'g> {
         self.t
     }
 
-    /// Dampening rate `d_i` of a node (Eq. 2).
+    /// Dampening rate `d_i` of a node (Eq. 2); served from the precomputed
+    /// vector when one was supplied at construction.
     #[inline]
     pub fn dampening(&self, v: NodeId) -> f64 {
+        if let Some(damp) = self.damp {
+            if let Some(&d) = damp.get(v.idx()) {
+                return d;
+            }
+        }
         dampening_rate(self.dampening, self.importance(v), self.p_min)
     }
 
@@ -410,6 +450,36 @@ mod tests {
         let f_weak = s.flows_from(&tree, 2, s.generation(n[2], 1, 1));
         // Node 0's score is min over sources 1 and 2 — the weak source 2.
         assert!((ts.node_scores[0] - f_weak[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precomputed_dampening_matches_on_demand() {
+        let (g, p) = path3(vec![0.25, 0.5, 0.25]);
+        let on_demand = Scorer::new(&g, &p, 0.25, Dampening::paper_default());
+        let damp = on_demand.dampening_vector();
+        let precomputed =
+            Scorer::with_dampening_vector(&g, &p, 0.25, Dampening::paper_default(), &damp);
+        for v in g.nodes() {
+            assert_eq!(on_demand.dampening(v), precomputed.dampening(v));
+        }
+        // Tree scores agree bit-for-bit too.
+        let tree = Jtt::new(vec![NodeId(0), NodeId(1), NodeId(2)], vec![(0, 1), (1, 2)]).unwrap();
+        let bind = [
+            NodeBinding {
+                pos: 0,
+                match_count: 1,
+                word_count: 2,
+            },
+            NodeBinding {
+                pos: 2,
+                match_count: 1,
+                word_count: 2,
+            },
+        ];
+        assert_eq!(
+            on_demand.score_tree(&tree, &bind).score,
+            precomputed.score_tree(&tree, &bind).score
+        );
     }
 
     #[test]

@@ -1,5 +1,6 @@
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::time::Instant;
 
 use ci_graph::NodeId;
 use ci_index::DistanceOracle;
@@ -7,12 +8,13 @@ use ci_rwmp::Scorer;
 
 use crate::answer::{score_answer, Answer, TopK};
 use crate::bounds::{distance_prune, upper_bound};
+use crate::budget::TruncationReason;
 use crate::candidate::Candidate;
 use crate::query::QuerySpec;
 use crate::validity::{is_valid_answer, leaves_matchable};
 use crate::SearchOptions;
 
-/// Counters describing one branch-and-bound run.
+/// Counters describing one search run (either algorithm).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SearchStats {
     /// Candidates popped from the priority queue (grow steps).
@@ -25,9 +27,21 @@ pub struct SearchStats {
     pub distance_pruned: usize,
     /// Merge attempts performed.
     pub merges: usize,
-    /// True if `max_expansions` was hit before the queue emptied — the
+    /// Peak number of live candidates held in the arena — what
+    /// [`crate::QueryBudget::max_candidates`] bounds.
+    pub candidates_peak: usize,
+    /// Why the run stopped early, if it did. `None` means the search space
+    /// was exhausted and the top-k guarantee (Theorem 1) holds; any
+    /// truncated run still returns only valid, exactly-scored answers.
+    pub truncation: Option<TruncationReason>,
+}
+
+impl SearchStats {
+    /// True if the run stopped before exhausting its search space — the
     /// top-k guarantee does not hold for a truncated run.
-    pub truncated: bool,
+    pub fn truncated(&self) -> bool {
+        self.truncation.is_some()
+    }
 }
 
 struct HeapItem {
@@ -55,10 +69,16 @@ impl PartialOrd for HeapItem {
     }
 }
 
-struct Engine<'a> {
+/// Wall-clock polling stride: the deadline is re-read from the OS once per
+/// this many budget checks, keeping `Instant::now` off the per-candidate
+/// fast path. The first check of a run always polls, so an
+/// already-expired deadline truncates deterministically before any work.
+const DEADLINE_POLL_STRIDE: u32 = 64;
+
+struct SearchRun<'a, O: DistanceOracle> {
     scorer: &'a Scorer<'a>,
     query: &'a QuerySpec,
-    oracle: &'a dyn DistanceOracle,
+    oracle: &'a O,
     opts: &'a SearchOptions,
     arena: Vec<Candidate>,
     queue: BinaryHeap<HeapItem>,
@@ -66,6 +86,7 @@ struct Engine<'a> {
     seen: HashSet<(NodeId, ci_rwmp::CanonicalKey)>,
     topk: TopK,
     stats: SearchStats,
+    deadline_ticks: u32,
 }
 
 /// Branch-and-bound top-k search (Algorithm 1 of the paper).
@@ -73,20 +94,25 @@ struct Engine<'a> {
 /// Seeds one candidate per matcher node, repeatedly expands the candidate
 /// with the highest upper bound (tree grow), merges same-rooted candidates,
 /// and stops once the best remaining bound cannot beat the current top-k.
-/// With `opts.max_expansions` unset the result is exactly the optimal top-k
-/// (Theorem 1).
-pub fn bnb_search(
+/// With an unlimited [`crate::QueryBudget`] (`opts.budget`) the result is
+/// exactly the optimal top-k (Theorem 1); any budget axis can stop the run
+/// early, which is reported through [`SearchStats::truncation`].
+///
+/// Generic over the oracle: the `dist_lb`/`retention_ub` probes in the
+/// inner loop dispatch statically and inline per oracle type. The function
+/// does **not** memoize oracle probes itself — wrap the oracle in
+/// [`crate::CachedOracle`] when probes are expensive (the engine's query
+/// session does this automatically, sharing one cache per session).
+pub fn bnb_search<O: DistanceOracle>(
     scorer: &Scorer<'_>,
     query: &QuerySpec,
-    oracle: &dyn DistanceOracle,
+    oracle: &O,
     opts: &SearchOptions,
 ) -> (Vec<Answer>, SearchStats) {
-    // Oracle probes repeat massively across candidates; memoize per query.
-    let oracle = crate::cache::CachedOracle::new(oracle);
-    let mut eng = Engine {
+    let mut run = SearchRun {
         scorer,
         query,
-        oracle: &oracle,
+        oracle,
         opts,
         arena: Vec::new(),
         queue: BinaryHeap::new(),
@@ -94,30 +120,40 @@ pub fn bnb_search(
         seen: HashSet::new(),
         topk: TopK::new(opts.k),
         stats: SearchStats::default(),
+        deadline_ticks: 0,
     };
     if !query.answerable() {
-        return (Vec::new(), eng.stats);
+        return (Vec::new(), run.stats);
     }
-    for m in query.matchers() {
-        eng.register(Candidate::seed(m.node, m.mask));
+    // Seed in the spec's deterministic matcher order (not `matchers()`,
+    // whose hash-map iteration order varies per instance): registration
+    // order is the heap's tie-break and the top-k's order among
+    // equal-scored answers, so it must be reproducible run to run.
+    for &node in query.matchers_sorted() {
+        if let Some(m) = query.matcher(node) {
+            run.register(Candidate::seed(m.node, m.mask));
+        }
     }
-    while let Some(HeapItem { ub, idx }) = eng.queue.pop() {
-        if let Some(min) = eng.topk.min_score() {
+    while let Some(HeapItem { ub, idx }) = run.queue.pop() {
+        if let Some(min) = run.topk.min_score() {
             if ub < min {
                 break; // Lines 9–11: nothing left can beat the top-k.
             }
         }
-        if eng.stats.truncated {
-            break; // registration budget exhausted inside a merge cascade
+        if run.stats.truncation.is_some() {
+            break; // budget exhausted inside a registration cascade
         }
-        if let Some(cap) = eng.opts.max_expansions {
-            if eng.stats.pops >= cap {
-                eng.stats.truncated = true;
+        if let Some(cap) = run.opts.budget.max_expansions {
+            if run.stats.pops >= cap {
+                run.stats.truncation = Some(TruncationReason::Expansions);
                 break;
             }
         }
-        eng.stats.pops += 1;
-        let Some(cur) = eng.arena.get(idx).cloned() else {
+        if run.deadline_hit() {
+            break;
+        }
+        run.stats.pops += 1;
+        let Some(cur) = run.arena.get(idx).cloned() else {
             debug_assert!(false, "queue references a missing arena slot");
             continue;
         };
@@ -129,8 +165,8 @@ pub fn bnb_search(
         #[cfg(any(debug_assertions, feature = "strict-invariants"))]
         {
             let tree = cur.to_jtt();
-            if cur.mask == eng.query.full_mask() && is_valid_answer(&tree, eng.query) {
-                if let Some(score) = score_answer(eng.scorer, eng.query, &tree) {
+            if cur.mask == run.query.full_mask() && is_valid_answer(&tree, run.query) {
+                if let Some(score) = score_answer(run.scorer, run.query, &tree) {
                     assert!(
                         ub >= score - 1e-9,
                         "admissibility violated at pop: ub(C) = {ub} < score(C) = {score}"
@@ -139,33 +175,66 @@ pub fn bnb_search(
             }
         }
         let root = cur.root();
-        let neighbors: Vec<NodeId> = eng.scorer.graph().neighbors(root).collect();
+        let neighbors: Vec<NodeId> = run.scorer.graph().neighbors(root).collect();
         for vj in neighbors {
             if cur.contains(vj) {
                 continue;
             }
-            let grown = cur.grow(vj, eng.query);
-            eng.register(grown);
+            let grown = cur.grow(vj, run.query);
+            run.register(grown);
         }
     }
-    (eng.topk.into_sorted(), eng.stats)
+    (run.topk.into_sorted(), run.stats)
 }
 
-impl<'a> Engine<'a> {
+impl<'a, O: DistanceOracle> SearchRun<'a, O> {
+    /// Polls the wall-clock deadline (strided — see
+    /// [`DEADLINE_POLL_STRIDE`]) and records the truncation on expiry.
+    fn deadline_hit(&mut self) -> bool {
+        if self.opts.budget.deadline.is_none() {
+            return false;
+        }
+        let tick = self.deadline_ticks;
+        self.deadline_ticks = self.deadline_ticks.wrapping_add(1);
+        if !tick.is_multiple_of(DEADLINE_POLL_STRIDE) {
+            return false;
+        }
+        if self.opts.budget.deadline_exceeded(Instant::now()) {
+            self.stats.truncation = Some(TruncationReason::Deadline);
+            true
+        } else {
+            false
+        }
+    }
+
     /// Validates, bounds, enqueues, and eagerly merges a new candidate.
     ///
     /// Merge cascades at hub roots can register far more candidates than
     /// the pop cap ever touches, so the expansion budget also bounds total
-    /// registrations (at 10× the pop cap).
+    /// registrations (at 10× the pop cap), and the candidate-memory budget
+    /// bounds the live arena directly.
     fn register(&mut self, cand: Candidate) {
-        let registration_cap = self.opts.max_expansions.map(|m| m.saturating_mul(10));
+        let registration_cap = self
+            .opts
+            .budget
+            .max_expansions
+            .map(|m| m.saturating_mul(10));
         let mut worklist = vec![cand];
         while let Some(c) = worklist.pop() {
             if let Some(cap) = registration_cap {
                 if self.stats.registered >= cap {
-                    self.stats.truncated = true;
+                    self.stats.truncation = Some(TruncationReason::Expansions);
                     return;
                 }
+            }
+            if let Some(cap) = self.opts.budget.max_candidates {
+                if self.arena.len() >= cap {
+                    self.stats.truncation = Some(TruncationReason::CandidateMemory);
+                    return;
+                }
+            }
+            if self.deadline_hit() {
+                return;
             }
             if let Some(idx) = self.admit(&c) {
                 // Merge with every known candidate sharing the root.
@@ -229,6 +298,7 @@ impl<'a> Engine<'a> {
         }
         let idx = self.arena.len();
         self.arena.push(cand.clone());
+        self.stats.candidates_peak = self.stats.candidates_peak.max(self.arena.len());
         self.by_root.entry(cand.root()).or_default().push(idx);
         self.queue.push(HeapItem { ub, idx });
         self.stats.registered += 1;
@@ -250,10 +320,12 @@ impl<'a> Engine<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::budget::QueryBudget;
     use crate::query::QuerySpec;
     use ci_graph::GraphBuilder;
     use ci_index::NoIndex;
     use ci_rwmp::Dampening;
+    use std::time::Duration;
 
     /// The Papakonstantinou–Ullman scenario: two author nodes connected by
     /// two alternative paper nodes of very different importance.
@@ -268,6 +340,14 @@ mod tests {
         (b.build(), vec![0.2, 0.05, 0.2, 0.55])
     }
 
+    fn query_ab(scorer: &Scorer<'_>) -> QuerySpec {
+        QuerySpec::from_matches(
+            scorer,
+            vec!["a".into(), "b".into()],
+            vec![(NodeId(0), 0b01, 2), (NodeId(2), 0b10, 2)],
+        )
+    }
+
     #[test]
     fn finds_both_answers_ranked_by_connector_importance() {
         let (g, p) = coauthor_graph();
@@ -278,7 +358,8 @@ mod tests {
             vec![(NodeId(0), 0b01, 2), (NodeId(2), 0b10, 2)],
         );
         let (answers, stats) = bnb_search(&scorer, &q, &NoIndex, &SearchOptions::default());
-        assert!(!stats.truncated);
+        assert!(!stats.truncated());
+        assert!(stats.candidates_peak > 0);
         assert_eq!(answers.len(), 2, "two connecting papers, two answers");
         // Best answer goes through the important paper (node 3).
         assert!(answers[0].tree.contains(NodeId(3)));
@@ -290,11 +371,7 @@ mod tests {
     fn respects_k() {
         let (g, p) = coauthor_graph();
         let scorer = Scorer::new(&g, &p, 0.05, Dampening::paper_default());
-        let q = QuerySpec::from_matches(
-            &scorer,
-            vec!["a".into(), "b".into()],
-            vec![(NodeId(0), 0b01, 2), (NodeId(2), 0b10, 2)],
-        );
+        let q = query_ab(&scorer);
         let opts = SearchOptions {
             k: 1,
             ..Default::default()
@@ -341,11 +418,7 @@ mod tests {
     fn diameter_limits_answers() {
         let (g, p) = coauthor_graph();
         let scorer = Scorer::new(&g, &p, 0.05, Dampening::paper_default());
-        let q = QuerySpec::from_matches(
-            &scorer,
-            vec!["a".into(), "b".into()],
-            vec![(NodeId(0), 0b01, 2), (NodeId(2), 0b10, 2)],
-        );
+        let q = query_ab(&scorer);
         // Matchers are 2 hops apart; D = 1 forbids any answer.
         let opts = SearchOptions {
             diameter: 1,
@@ -372,19 +445,68 @@ mod tests {
     }
 
     #[test]
-    fn truncation_reported() {
+    fn expansion_truncation_reported() {
         let (g, p) = coauthor_graph();
         let scorer = Scorer::new(&g, &p, 0.05, Dampening::paper_default());
-        let q = QuerySpec::from_matches(
-            &scorer,
-            vec!["a".into(), "b".into()],
-            vec![(NodeId(0), 0b01, 2), (NodeId(2), 0b10, 2)],
-        );
+        let q = query_ab(&scorer);
         let opts = SearchOptions {
-            max_expansions: Some(1),
+            budget: QueryBudget::default().with_max_expansions(1),
             ..Default::default()
         };
         let (_, stats) = bnb_search(&scorer, &q, &NoIndex, &opts);
-        assert!(stats.truncated);
+        assert!(stats.truncated());
+        assert_eq!(stats.truncation, Some(TruncationReason::Expansions));
+    }
+
+    #[test]
+    fn expired_deadline_truncates_deterministically() {
+        let (g, p) = coauthor_graph();
+        let scorer = Scorer::new(&g, &p, 0.05, Dampening::paper_default());
+        let q = query_ab(&scorer);
+        let opts = SearchOptions {
+            budget: QueryBudget::default().with_timeout(Duration::ZERO),
+            ..Default::default()
+        };
+        let (answers, stats) = bnb_search(&scorer, &q, &NoIndex, &opts);
+        assert_eq!(stats.truncation, Some(TruncationReason::Deadline));
+        // A truncated run returns only valid answers (possibly none).
+        for a in &answers {
+            assert!(is_valid_answer(&a.tree, &q));
+        }
+    }
+
+    #[test]
+    fn generous_deadline_matches_unbudgeted_run() {
+        let (g, p) = coauthor_graph();
+        let scorer = Scorer::new(&g, &p, 0.05, Dampening::paper_default());
+        let q = query_ab(&scorer);
+        let opts = SearchOptions {
+            budget: QueryBudget::default().with_timeout(Duration::from_secs(3600)),
+            ..Default::default()
+        };
+        let (budgeted, stats) = bnb_search(&scorer, &q, &NoIndex, &opts);
+        assert!(!stats.truncated());
+        let (exact, _) = bnb_search(&scorer, &q, &NoIndex, &SearchOptions::default());
+        assert_eq!(budgeted.len(), exact.len());
+        for (a, b) in budgeted.iter().zip(&exact) {
+            assert!((a.score - b.score).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn candidate_memory_budget_truncates() {
+        let (g, p) = coauthor_graph();
+        let scorer = Scorer::new(&g, &p, 0.05, Dampening::paper_default());
+        let q = query_ab(&scorer);
+        let opts = SearchOptions {
+            budget: QueryBudget::default().with_max_candidates(2),
+            ..Default::default()
+        };
+        let (answers, stats) = bnb_search(&scorer, &q, &NoIndex, &opts);
+        assert_eq!(stats.truncation, Some(TruncationReason::CandidateMemory));
+        assert!(stats.candidates_peak <= 2);
+        for a in &answers {
+            assert!(is_valid_answer(&a.tree, &q));
+        }
     }
 }

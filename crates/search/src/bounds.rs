@@ -29,10 +29,15 @@ use crate::query::QuerySpec;
 /// Computes `ub(C)`. `allow_redundant` mirrors
 /// [`crate::SearchOptions::allow_redundant_matchers`]: when off, a complete
 /// candidate cannot be usefully extended and its bound is its exact score.
-pub fn upper_bound(
+///
+/// Generic over the oracle (statically dispatched): the `retention_ub`
+/// probes sit on the hottest loop of Algorithm 1 and inline per oracle
+/// type. `?Sized` keeps `&dyn DistanceOracle` callers compiling where
+/// static types are unavailable.
+pub fn upper_bound<O: DistanceOracle + ?Sized>(
     scorer: &Scorer<'_>,
     query: &QuerySpec,
-    oracle: &dyn DistanceOracle,
+    oracle: &O,
     cand: &Candidate,
     allow_redundant: bool,
 ) -> f64 {
@@ -141,9 +146,9 @@ pub fn upper_bound(
 /// `max_u gen(u) · ρ(u, root)` over a matcher list sorted by descending
 /// generation, with early exit: once the next raw generation cannot beat
 /// the current best (ρ ≤ 1), the scan stops.
-fn best_damped_gen(
+fn best_damped_gen<O: DistanceOracle + ?Sized>(
     query: &QuerySpec,
-    oracle: &dyn DistanceOracle,
+    oracle: &O,
     sorted: &[NodeId],
     root: NodeId,
     exclude: Option<NodeId>,
@@ -188,9 +193,9 @@ fn best_damped_gen(
 /// final diameter within `d_max` (every completion path attaches at the
 /// root, so it spans `depth(C) + dist(root, u)` hops to the deepest
 /// existing leaf).
-pub fn distance_prune(
+pub fn distance_prune<O: DistanceOracle + ?Sized>(
     query: &QuerySpec,
-    oracle: &dyn DistanceOracle,
+    oracle: &O,
     cand: &Candidate,
     d_max: u32,
 ) -> bool {
@@ -441,8 +446,8 @@ mod admissibility_props {
                 naive_max_combinations: 1_000_000,
                 ..Default::default()
             };
-            let (answers, truncated) = naive_search(&scorer, &query, &opts);
-            prop_assert!(!truncated, "oracle must be exhaustive");
+            let (answers, naive_stats) = naive_search(&scorer, &query, &opts);
+            prop_assert!(!naive_stats.truncated(), "oracle must be exhaustive");
 
             let damp: Vec<f64> = graph.nodes().map(|v| scorer.dampening(v)).collect();
             let idx = NaiveIndex::build(&graph, &damp, opts.diameter);

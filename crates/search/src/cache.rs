@@ -4,47 +4,119 @@ use std::collections::HashMap;
 use ci_graph::NodeId;
 use ci_index::DistanceOracle;
 
+/// Memo store for [`CachedOracle`], separable from the wrapper so a query
+/// session can own the cache and reuse it across several search runs over
+/// the same snapshot (the oracle answers are immutable once the engine is
+/// built, so entries never go stale within a session).
+///
+/// Interior mutability keeps the oracle interface `&self`; the store is
+/// intentionally `!Sync` — each session is single-threaded, snapshots are
+/// what cross threads.
+#[derive(Debug, Default)]
+pub struct OracleCache {
+    map: RefCell<HashMap<(u32, u32), (u32, f64)>>,
+}
+
+impl OracleCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        OracleCache::default()
+    }
+
+    /// Number of cached pairs (diagnostics).
+    pub fn len(&self) -> usize {
+        self.map.borrow().len()
+    }
+
+    /// True if nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.borrow().is_empty()
+    }
+
+    /// Drops all cached pairs.
+    pub fn clear(&self) {
+        self.map.borrow_mut().clear();
+    }
+
+    fn get_or_insert_with(
+        &self,
+        key: (u32, u32),
+        probe: impl FnOnce() -> (u32, f64),
+    ) -> (u32, f64) {
+        if let Some(&e) = self.map.borrow().get(&key) {
+            return e;
+        }
+        let e = probe();
+        self.map.borrow_mut().insert(key, e);
+        e
+    }
+}
+
+enum Store<'a> {
+    Owned(OracleCache),
+    Shared(&'a OracleCache),
+}
+
+impl Store<'_> {
+    fn get(&self) -> &OracleCache {
+        match self {
+            Store::Owned(c) => c,
+            Store::Shared(c) => c,
+        }
+    }
+}
+
 /// Memoizing wrapper around a [`DistanceOracle`].
 ///
 /// The branch-and-bound search probes the same (matcher, root) pairs over
 /// and over — every candidate sharing a root repeats the lookups, and star
 /// index case 3 (two non-star endpoints) costs `O(deg × deg)` per probe.
-/// Caching per query turns that into one probe per distinct pair.
-pub struct CachedOracle<'a> {
-    inner: &'a dyn DistanceOracle,
-    cache: RefCell<HashMap<(u32, u32), (u32, f64)>>,
+/// Caching turns that into one probe per distinct pair.
+///
+/// The wrapper is generic over the inner oracle so the memo layer adds no
+/// virtual dispatch of its own; `dist_lb`/`retention_ub` on the inner type
+/// inline into the cache-miss path.
+pub struct CachedOracle<'a, O: DistanceOracle + ?Sized> {
+    inner: &'a O,
+    store: Store<'a>,
 }
 
-impl<'a> CachedOracle<'a> {
-    /// Wraps an oracle for the duration of one query.
-    pub fn new(inner: &'a dyn DistanceOracle) -> Self {
+impl<'a, O: DistanceOracle + ?Sized> CachedOracle<'a, O> {
+    /// Wraps an oracle with a private cache (one query's lifetime).
+    pub fn new(inner: &'a O) -> Self {
         CachedOracle {
             inner,
-            cache: RefCell::new(HashMap::new()),
+            store: Store::Owned(OracleCache::new()),
+        }
+    }
+
+    /// Wraps an oracle with an external [`OracleCache`], letting several
+    /// runs within one query session share their memoized probes.
+    pub fn with_store(inner: &'a O, store: &'a OracleCache) -> Self {
+        CachedOracle {
+            inner,
+            store: Store::Shared(store),
         }
     }
 
     fn entry(&self, u: NodeId, v: NodeId) -> (u32, f64) {
-        if let Some(&e) = self.cache.borrow().get(&(u.0, v.0)) {
-            return e;
-        }
-        let e = (self.inner.dist_lb(u, v), self.inner.retention_ub(u, v));
-        self.cache.borrow_mut().insert((u.0, v.0), e);
-        e
+        self.store.get().get_or_insert_with((u.0, v.0), || {
+            (self.inner.dist_lb(u, v), self.inner.retention_ub(u, v))
+        })
     }
 
     /// Number of cached pairs (diagnostics).
     pub fn len(&self) -> usize {
-        self.cache.borrow().len()
+        self.store.get().len()
     }
 
     /// True if nothing has been cached yet.
     pub fn is_empty(&self) -> bool {
-        self.cache.borrow().is_empty()
+        self.store.get().is_empty()
     }
 }
 
-impl<'a> DistanceOracle for CachedOracle<'a> {
+impl<'a, O: DistanceOracle + ?Sized> DistanceOracle for CachedOracle<'a, O> {
     fn dist_lb(&self, u: NodeId, v: NodeId) -> u32 {
         self.entry(u, v).0
     }
@@ -83,5 +155,36 @@ mod tests {
         // A different pair probes again.
         cached.dist_lb(NodeId(2), NodeId(1));
         assert_eq!(cached.len(), 2);
+    }
+
+    #[test]
+    fn shared_store_survives_the_wrapper() {
+        let inner = Counting(RefCell::new(0));
+        let store = OracleCache::new();
+        {
+            let cached = CachedOracle::with_store(&inner, &store);
+            cached.dist_lb(NodeId(1), NodeId(2));
+        }
+        assert_eq!(store.len(), 1);
+        // A second wrapper over the same store hits the memo, not the inner.
+        let cached = CachedOracle::with_store(&inner, &store);
+        assert_eq!(cached.dist_lb(NodeId(1), NodeId(2)), 3);
+        assert_eq!(*inner.0.borrow(), 1, "second run reused the shared entry");
+        store.clear();
+        assert!(store.is_empty());
+        cached.dist_lb(NodeId(1), NodeId(2));
+        assert_eq!(*inner.0.borrow(), 2, "cleared store probes again");
+    }
+
+    #[test]
+    fn works_behind_a_trait_object() {
+        // `?Sized` keeps dynamic inner oracles possible where static types
+        // are unavailable (the hot path itself never does this).
+        let inner = Counting(RefCell::new(0));
+        let dyn_inner: &dyn DistanceOracle = &inner;
+        let cached = CachedOracle::new(dyn_inner);
+        cached.dist_lb(NodeId(0), NodeId(1));
+        cached.dist_lb(NodeId(0), NodeId(1));
+        assert_eq!(*inner.0.borrow(), 1);
     }
 }

@@ -46,8 +46,15 @@
 //! let (answers, stats) = bnb_search(&scorer, &query, &NoIndex, &SearchOptions::default());
 //! assert_eq!(answers.len(), 1);
 //! assert_eq!(answers[0].tree.size(), 3);
-//! assert!(!stats.truncated);
+//! assert!(!stats.truncated());
 //! ```
+//!
+//! Both algorithms are generic over the oracle (no `dyn` dispatch on the
+//! hot path — enforced by `cargo xtask lint`) and accept a per-query
+//! [`QueryBudget`] via [`SearchOptions::budget`]: expansion, wall-clock,
+//! and candidate-memory limits that stop a run early with a uniform
+//! [`SearchStats::truncation`] report instead of panicking or silently
+//! capping.
 
 // LINT-EXEMPT(tests): the workspace lint wall (workspace Cargo.toml) bans
 // panicking constructs in library code; unit tests opt back in. Clippy still
@@ -70,6 +77,7 @@
 mod answer;
 mod bnb;
 mod bounds;
+mod budget;
 mod cache;
 mod candidate;
 mod naive;
@@ -78,9 +86,10 @@ mod validity;
 
 pub use answer::{score_answer, Answer, TopK};
 pub use bnb::{bnb_search, SearchStats};
-pub use cache::CachedOracle;
+pub use budget::{QueryBudget, TruncationReason};
+pub use cache::{CachedOracle, OracleCache};
 pub use naive::naive_search;
-pub use query::{MatcherInfo, QuerySpec};
+pub use query::{MatcherInfo, QuerySpec, MAX_KEYWORDS};
 pub use validity::is_valid_answer;
 
 /// Tuning knobs shared by both search algorithms.
@@ -97,9 +106,9 @@ pub struct SearchOptions {
     /// Disabling restricts the merge rule to the paper's "covers more
     /// keywords than either" wording.
     pub allow_redundant_matchers: bool,
-    /// Branch-and-bound: cap on queue pops before giving up (`None` =
-    /// unbounded; the result is flagged as truncated when hit).
-    pub max_expansions: Option<usize>,
+    /// Per-query resource budget (expansions, deadline, candidate memory).
+    /// The default is unlimited, preserving exact-search semantics.
+    pub budget: QueryBudget,
     /// Naive search: cap on stored paths per (matcher, endpoint) pair.
     pub naive_max_paths: usize,
     /// Naive search: cap on per-root keyword combinations.
@@ -113,7 +122,7 @@ impl Default for SearchOptions {
             k: 10,
             max_tree_nodes: 10,
             allow_redundant_matchers: true,
-            max_expansions: None,
+            budget: QueryBudget::UNLIMITED,
             naive_max_paths: 256,
             naive_max_combinations: 100_000,
         }

@@ -1,12 +1,52 @@
 use std::collections::HashMap;
+use std::time::Instant;
 
 use ci_graph::NodeId;
 use ci_rwmp::{Jtt, Scorer};
 
 use crate::answer::{score_answer, Answer, TopK};
+use crate::bnb::SearchStats;
+use crate::budget::{QueryBudget, TruncationReason};
 use crate::query::QuerySpec;
 use crate::validity::is_valid_answer;
 use crate::SearchOptions;
+
+/// Strided wall-clock poll shared by the enumeration loops (mirrors the
+/// branch-and-bound stride: the deadline is read from the OS once per this
+/// many checks, and the first check always polls).
+struct DeadlineGate {
+    budget: QueryBudget,
+    ticks: u32,
+    expired: bool,
+}
+
+impl DeadlineGate {
+    const STRIDE: u32 = 64;
+
+    fn new(budget: QueryBudget) -> Self {
+        DeadlineGate {
+            budget,
+            ticks: 0,
+            expired: false,
+        }
+    }
+
+    fn hit(&mut self) -> bool {
+        if self.expired {
+            return true;
+        }
+        if self.budget.deadline.is_none() {
+            return false;
+        }
+        let tick = self.ticks;
+        self.ticks = self.ticks.wrapping_add(1);
+        if !tick.is_multiple_of(Self::STRIDE) {
+            return false;
+        }
+        self.expired = self.budget.deadline_exceeded(Instant::now());
+        self.expired
+    }
+}
 
 /// The naive search algorithm (§IV-A).
 ///
@@ -18,20 +58,23 @@ use crate::SearchOptions;
 /// exactness oracle for branch-and-bound in the test suite.
 ///
 /// The combinatorial caps (`opts.naive_max_paths`,
-/// `opts.naive_max_combinations`) keep the algorithm usable on larger
-/// graphs at the cost of completeness; the returned flag reports whether
-/// any cap was hit.
+/// `opts.naive_max_combinations`) and the wall-clock deadline of
+/// `opts.budget` keep the algorithm usable on larger graphs at the cost of
+/// completeness; any early stop is reported through
+/// [`SearchStats::truncation`], mirroring [`crate::bnb_search`].
 pub fn naive_search(
     scorer: &Scorer<'_>,
     query: &QuerySpec,
     opts: &SearchOptions,
-) -> (Vec<Answer>, bool) {
+) -> (Vec<Answer>, SearchStats) {
+    let mut stats = SearchStats::default();
     if !query.answerable() {
-        return (Vec::new(), false);
+        return (Vec::new(), stats);
     }
     let half = opts.diameter.div_ceil(2);
     let graph = scorer.graph();
-    let mut truncated = false;
+    let mut capped = false;
+    let mut gate = DeadlineGate::new(opts.budget);
 
     // endpoint -> matcher -> paths (each path runs endpoint → … → matcher).
     let mut by_endpoint: HashMap<NodeId, HashMap<NodeId, Vec<Vec<NodeId>>>> = HashMap::new();
@@ -46,7 +89,7 @@ pub fn naive_search(
                 .entry(m.node)
                 .or_default();
             if slot.len() >= opts.naive_max_paths {
-                truncated = true;
+                capped = true;
                 return;
             }
             // Store the path reversed: root → … → matcher.
@@ -54,10 +97,23 @@ pub fn naive_search(
             rp.reverse();
             slot.push(rp);
         });
+        if gate.hit() {
+            break;
+        }
     }
 
     let mut topk = TopK::new(opts.k);
-    for per_matcher in by_endpoint.values() {
+    // Visit candidate roots in node order: hash-map iteration order varies
+    // per instance, and arrival order is the top-k tie-break.
+    let mut roots: Vec<NodeId> = by_endpoint.keys().copied().collect();
+    roots.sort_unstable();
+    for root in roots {
+        let Some(per_matcher) = by_endpoint.get(&root) else {
+            continue;
+        };
+        if gate.hit() {
+            break;
+        }
         // Options per keyword: (matcher, path index) pairs.
         let options: Vec<Vec<(NodeId, usize)>> = (0..query.keyword_count())
             .map(|k| {
@@ -75,28 +131,40 @@ pub fn naive_search(
         if options.iter().any(|o| o.is_empty()) {
             continue;
         }
-        let mut budget = opts.naive_max_combinations;
+        let mut combo_budget = opts.naive_max_combinations;
         let mut choice = Vec::with_capacity(options.len());
-        combine(&options, 0, &mut choice, &mut budget, &mut |sel: &[(
-            NodeId,
-            usize,
-        )]| {
-            if let Some(tree) = union_paths(sel, per_matcher) {
-                if tree.size() <= opts.max_tree_nodes
-                    && tree.diameter() <= opts.diameter
-                    && is_valid_answer(&tree, query)
-                {
-                    if let Some(score) = score_answer(scorer, query, &tree) {
-                        topk.offer(Answer { tree, score });
+        combine(
+            &options,
+            0,
+            &mut choice,
+            &mut combo_budget,
+            &mut |sel: &[(NodeId, usize)]| {
+                if let Some(tree) = union_paths(sel, per_matcher) {
+                    if tree.size() <= opts.max_tree_nodes
+                        && tree.diameter() <= opts.diameter
+                        && is_valid_answer(&tree, query)
+                    {
+                        if let Some(score) = score_answer(scorer, query, &tree) {
+                            topk.offer(Answer { tree, score });
+                        }
                     }
                 }
-            }
-        });
-        if budget == 0 {
-            truncated = true;
+            },
+        );
+        if combo_budget == 0 {
+            capped = true;
         }
     }
-    (topk.into_sorted(), truncated)
+    // Uniform truncation reporting: the deadline outranks the enumeration
+    // caps (the run stopped for time, whatever else it also hit).
+    stats.truncation = if gate.expired {
+        Some(TruncationReason::Deadline)
+    } else if capped {
+        Some(TruncationReason::EnumerationCaps)
+    } else {
+        None
+    };
+    (topk.into_sorted(), stats)
 }
 
 fn dfs_paths(
@@ -208,8 +276,8 @@ mod tests {
             vec![(NodeId(0), 0b01, 2), (NodeId(2), 0b10, 2)],
         );
         let opts = SearchOptions::default();
-        let (naive, truncated) = naive_search(&scorer, &q, &opts);
-        assert!(!truncated);
+        let (naive, stats) = naive_search(&scorer, &q, &opts);
+        assert!(!stats.truncated());
         let (bnb, _) = crate::bnb_search(&scorer, &q, &ci_index::NoIndex, &opts);
         assert_eq!(naive.len(), bnb.len());
         for (a, b) in naive.iter().zip(&bnb) {
@@ -262,7 +330,27 @@ mod tests {
             naive_max_combinations: 1,
             ..Default::default()
         };
-        let (_, truncated) = naive_search(&scorer, &q, &opts);
-        assert!(truncated);
+        let (_, stats) = naive_search(&scorer, &q, &opts);
+        assert_eq!(stats.truncation, Some(TruncationReason::EnumerationCaps));
+    }
+
+    #[test]
+    fn expired_deadline_truncates() {
+        let (g, p) = coauthor_graph();
+        let scorer = Scorer::new(&g, &p, 0.05, Dampening::paper_default());
+        let q = QuerySpec::from_matches(
+            &scorer,
+            vec!["a".into(), "b".into()],
+            vec![(NodeId(0), 0b01, 2), (NodeId(2), 0b10, 2)],
+        );
+        let opts = SearchOptions {
+            budget: QueryBudget::default().with_timeout(std::time::Duration::ZERO),
+            ..Default::default()
+        };
+        let (answers, stats) = naive_search(&scorer, &q, &opts);
+        assert_eq!(stats.truncation, Some(TruncationReason::Deadline));
+        for a in &answers {
+            assert!(is_valid_answer(&a.tree, &q));
+        }
     }
 }

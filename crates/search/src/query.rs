@@ -19,8 +19,21 @@ pub struct MatcherInfo {
     pub gen: f64,
 }
 
+/// Hard cap on query keywords.
+///
+/// Keyword coverage is tracked as a `u32` bitmask everywhere (candidate
+/// trees, matcher infos, the top-k dominance checks), so a query can name
+/// at most 32 keywords — one bit per keyword, with the 32-keyword case
+/// using the full `u32::MAX` mask. Raising the cap means widening every
+/// mask in the search layer, not just this constant.
+pub const MAX_KEYWORDS: usize = 32;
+
 /// A resolved keyword query: the keyword list, every matcher with its
 /// statistics, and per-keyword aggregates used by the search bounds.
+///
+/// Queries carry between 1 and [`MAX_KEYWORDS`] keywords; the cap comes
+/// from the `u32` keyword bitmask (bit `k` ⇔ keyword `k`), and
+/// [`QuerySpec::new`] panics beyond it.
 #[derive(Debug, Clone)]
 pub struct QuerySpec {
     keywords: Vec<String>,
@@ -34,12 +47,13 @@ pub struct QuerySpec {
 }
 
 impl QuerySpec {
-    /// Builds a query spec. `keyword_count` ≤ 32 (masks are `u32`); every
-    /// matcher's mask must be a non-empty subset of the keyword range.
+    /// Builds a query spec. `keyword_count` ≤ [`MAX_KEYWORDS`] (masks are
+    /// `u32`); every matcher's mask must be a non-empty subset of the
+    /// keyword range.
     pub fn new(keywords: Vec<String>, matchers: Vec<MatcherInfo>) -> Self {
         let kc = keywords.len();
         assert!(
-            (1..=32).contains(&kc),
+            (1..=MAX_KEYWORDS).contains(&kc),
             "between 1 and 32 keywords supported"
         );
         let full = Self::full_mask_for(kc);
@@ -228,5 +242,31 @@ mod tests {
     #[should_panic(expected = "between 1 and 32")]
     fn empty_query_rejected() {
         QuerySpec::new(vec![], vec![]);
+    }
+
+    #[test]
+    fn thirty_two_keywords_fill_the_mask_exactly() {
+        // Boundary: 32 keywords is the largest query the u32 mask admits;
+        // the full mask must be u32::MAX with no overflow in its
+        // construction, and the last keyword's bit must round-trip.
+        let keywords: Vec<String> = (0..MAX_KEYWORDS).map(|k| format!("k{k}")).collect();
+        let matchers: Vec<MatcherInfo> = (0..MAX_KEYWORDS as u32)
+            .map(|k| mi(k, 1u32 << k, 1.0 + f64::from(k)))
+            .collect();
+        let q = QuerySpec::new(keywords, matchers);
+        assert_eq!(q.keyword_count(), MAX_KEYWORDS);
+        assert_eq!(q.full_mask(), u32::MAX);
+        assert!(q.answerable());
+        assert_eq!(q.matchers_of(31), &[NodeId(31)]);
+        assert_eq!(q.mask_of(NodeId(31)), 1u32 << 31);
+    }
+
+    #[test]
+    #[should_panic(expected = "between 1 and 32")]
+    fn thirty_three_keywords_rejected() {
+        // Boundary: one past the mask width must fail loudly rather than
+        // silently truncating keyword 32's coverage bit.
+        let keywords: Vec<String> = (0..=MAX_KEYWORDS).map(|k| format!("k{k}")).collect();
+        QuerySpec::new(keywords, vec![mi(0, 0b1, 1.0)]);
     }
 }

@@ -139,11 +139,11 @@ proptest! {
             naive_max_combinations: 1_000_000,
             ..Default::default()
         };
-        let (oracle_answers, truncated) = naive_search(&scorer, &query, &opts);
-        prop_assert!(!truncated, "oracle must be exhaustive for the comparison");
+        let (oracle_answers, naive_stats) = naive_search(&scorer, &query, &opts);
+        prop_assert!(!naive_stats.truncated(), "oracle must be exhaustive for the comparison");
 
         let (plain, stats) = bnb_search(&scorer, &query, &NoIndex, &opts);
-        prop_assert!(!stats.truncated);
+        prop_assert!(!stats.truncated());
         assert_equivalent("no-index", &oracle_answers, &plain);
 
         let damp: Vec<f64> = graph.nodes().map(|v| scorer.dampening(v)).collect();
@@ -189,10 +189,10 @@ proptest! {
             naive_max_combinations: 2_000_000,
             ..Default::default()
         };
-        let (oracle_answers, truncated) = naive_search(&scorer, &query, &opts);
-        prop_assert!(!truncated);
+        let (oracle_answers, naive_stats) = naive_search(&scorer, &query, &opts);
+        prop_assert!(!naive_stats.truncated());
         let (plain, stats) = bnb_search(&scorer, &query, &NoIndex, &opts);
-        prop_assert!(!stats.truncated);
+        prop_assert!(!stats.truncated());
         assert_equivalent("three-kw", &oracle_answers, &plain);
 
         let damp: Vec<f64> = graph.nodes().map(|v| scorer.dampening(v)).collect();

@@ -18,6 +18,13 @@
 //!    a `LINT-EXEMPT` tag. This re-checks, without compiling, what the
 //!    clippy wall enforces — so the rule also holds on machines that run
 //!    only `cargo xtask lint`.
+//! 4. **Static oracle dispatch on the hot path** — the search inner loops
+//!    (`crates/search/src/{bnb,bounds,naive}.rs`) must not mention
+//!    `dyn DistanceOracle` outside their test modules. The search
+//!    functions are generic over `O: DistanceOracle` so bound probes
+//!    inline; a `dyn` slipping back in would silently reintroduce a
+//!    virtual call per probe. The index's `DistIndex::with_oracle` is the
+//!    one sanctioned dispatch point.
 //!
 //! The checker is deliberately textual (the offline build environment has
 //! no `syn`); the heuristics below are documented inline and tuned to this
@@ -78,6 +85,7 @@ fn lint() -> ExitCode {
     for krate in LIBRARY_CRATES {
         check_no_panicking(&root.join("crates").join(krate).join("src"), &mut findings);
     }
+    check_no_dyn_oracle(&root, &mut findings);
 
     if findings.is_empty() {
         println!("xtask lint: ok");
@@ -256,6 +264,47 @@ fn check_no_panicking(src_dir: &Path, findings: &mut Vec<String>) {
     }
 }
 
+/// Rule 4: no `dyn DistanceOracle` in the search hot path. The non-test
+/// region of the branch-and-bound loop, the bound computations, and the
+/// naive enumerator must stay generic over the oracle; tests may still use
+/// trait objects (e.g. arrays of heterogeneous oracles).
+fn check_no_dyn_oracle(root: &Path, findings: &mut Vec<String>) {
+    const HOT_PATH_FILES: &[&str] = &[
+        "crates/search/src/bnb.rs",
+        "crates/search/src/bounds.rs",
+        "crates/search/src/naive.rs",
+    ];
+    for rel in HOT_PATH_FILES {
+        let path = root.join(rel);
+        let Ok(src) = fs::read_to_string(&path) else {
+            findings.push(format!("{}: cannot read file", path.display()));
+            continue;
+        };
+        for n in dyn_oracle_hits(&src) {
+            findings.push(format!(
+                "{}:{}: `dyn DistanceOracle` on the search hot path — \
+                 keep the oracle generic (static dispatch) and route \
+                 variant selection through DistIndex::with_oracle",
+                path.display(),
+                n
+            ));
+        }
+    }
+}
+
+/// 1-based line numbers in the non-test region of `src` that mention
+/// `dyn DistanceOracle` outside comments and string literals.
+fn dyn_oracle_hits(src: &str) -> Vec<usize> {
+    non_test_region(src)
+        .enumerate()
+        .filter(|(_, line)| {
+            !line.trim_start().starts_with("//")
+                && strip_strings(line).contains("dyn DistanceOracle")
+        })
+        .map(|(n, _)| n + 1)
+        .collect()
+}
+
 /// True if the file carries a module-level `#![allow(...)]` under a
 /// `LINT-EXEMPT` tag (the whole file is then an audited exemption).
 fn file_has_tagged_allow(src: &str) -> bool {
@@ -364,6 +413,18 @@ mod tests {
         let src = "fn a() {}\n#[cfg(test)]\nmod tests {}\n";
         let kept: Vec<&str> = non_test_region(src).collect();
         assert_eq!(kept, vec!["fn a() {}"]);
+    }
+
+    #[test]
+    fn dyn_oracle_flagged_outside_tests_only() {
+        let bad = "fn f(o: &dyn DistanceOracle) {}\n";
+        assert_eq!(dyn_oracle_hits(bad), vec![1]);
+        let in_tests = "fn f<O: DistanceOracle>(o: &O) {}\n\
+                        #[cfg(test)]\n\
+                        mod tests {\n    let o: &dyn DistanceOracle = &x;\n}\n";
+        assert!(dyn_oracle_hits(in_tests).is_empty());
+        let in_comment = "// a &dyn DistanceOracle used to live here\n";
+        assert!(dyn_oracle_hits(in_comment).is_empty());
     }
 
     #[test]

@@ -47,8 +47,11 @@ fn bnb_equals_naive_through_the_engine() {
         for q in dblp_workload(&data, 6, 17) {
             let query = q.keywords.join(" ");
             let bnb = e.search(&query).unwrap();
-            let (naive, truncated) = e.search_naive(&query).unwrap();
-            assert!(!truncated, "oracle must be exhaustive (D={d})");
+            let (naive, naive_stats) = e.search_naive(&query).unwrap();
+            assert!(
+                !naive_stats.truncated(),
+                "oracle must be exhaustive (D={d})"
+            );
             assert_eq!(bnb.len(), naive.len(), "query {query:?} (D={d}, k={k})");
             for (a, b) in bnb.iter().zip(&naive) {
                 assert!(

@@ -137,7 +137,11 @@ fn expansion_cap_reports_truncation_without_breaking() {
     )
     .unwrap();
     let (answers, stats) = e.search_with_stats("number0 number1").unwrap();
-    assert!(stats.truncated);
+    assert!(stats.truncated());
+    assert_eq!(
+        stats.truncation,
+        Some(ci_rank::TruncationReason::Expansions)
+    );
     // Truncated runs may return fewer/suboptimal answers but stay sane.
     for a in &answers {
         assert!(a.score > 0.0);
