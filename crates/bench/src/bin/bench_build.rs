@@ -1,0 +1,193 @@
+//! Serial-vs-parallel offline build wall-clock, written to
+//! `BENCH_build.json` (consumed by CI as a tracked artifact).
+//!
+//! Measures the three parallelized build stages — power iteration, naive
+//! index, star index — at 1, 2, and 4 worker threads over the bench-scale
+//! DBLP dataset, plus the end-to-end `EngineBuilder` pipeline, and records
+//! the speedups relative to the serial run. Every configuration's output
+//! is asserted bit-identical to serial before its timing is trusted, so a
+//! "speedup" can never come from computing something different.
+//!
+//! Usage: `cargo run --release -p ci-bench --bin bench_build [out.json]`
+//! (default output path: `BENCH_build.json` in the current directory).
+
+// LINT-EXEMPT(bench-fixture): a measurement driver; a panic aborts the
+// bench run, which is the desired behavior.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing,
+    clippy::cast_precision_loss
+)]
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use ci_bench::dblp_data;
+use ci_graph::{build_graph, WeightConfig};
+use ci_index::{detect_star_relations, NaiveIndex, StarIndex};
+use ci_rank::{CiRankConfig, EngineBuilder, IndexKind};
+use ci_rwmp::{Dampening, Scorer};
+use ci_walk::{pagerank, PowerOptions};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+const REPS: usize = 3;
+
+/// Best-of-`REPS` wall-clock of `f` in seconds (best-of suppresses
+/// scheduler noise better than the mean on small samples).
+fn time_best<T>(mut f: impl FnMut() -> T) -> (T, f64) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let v = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        out = Some(v);
+    }
+    (out.expect("REPS >= 1"), best)
+}
+
+/// One measured stage: seconds per thread count, all outputs verified
+/// bit-identical to the serial run.
+struct StageTiming {
+    name: &'static str,
+    secs: Vec<(usize, f64)>,
+}
+
+impl StageTiming {
+    fn serial_secs(&self) -> f64 {
+        self.secs
+            .iter()
+            .find(|(t, _)| *t == 1)
+            .map(|&(_, s)| s)
+            .expect("serial run present")
+    }
+}
+
+fn json(stages: &[StageTiming], hardware_threads: usize) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"hardware_threads\": {hardware_threads},");
+    let _ = writeln!(out, "  \"reps\": {REPS},");
+    out.push_str("  \"stages\": {\n");
+    for (i, stage) in stages.iter().enumerate() {
+        let serial = stage.serial_secs();
+        let _ = writeln!(out, "    \"{}\": {{", stage.name);
+        for (j, &(threads, secs)) in stage.secs.iter().enumerate() {
+            let comma = if j + 1 < stage.secs.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "      \"threads_{threads}\": {{\"secs\": {secs:.6}, \"speedup\": {:.3}}}{comma}",
+                serial / secs.max(1e-12)
+            );
+        }
+        let comma = if i + 1 < stages.len() { "," } else { "" };
+        let _ = writeln!(out, "    }}{comma}");
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_build.json".to_string());
+    let hardware_threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    eprintln!("bench_build: {hardware_threads} hardware thread(s), best of {REPS} reps");
+
+    let data = dblp_data();
+    let graph = build_graph(&data.db, &WeightConfig::dblp_default(), None);
+    let imp = pagerank(&graph, PowerOptions::default());
+    let scorer = Scorer::new(&graph, imp.values(), imp.min(), Dampening::paper_default());
+    let damp: Vec<f64> = graph.nodes().map(|v| scorer.dampening(v)).collect();
+    let star_rels = detect_star_relations(&graph);
+    let serial_imp_bits: Vec<u64> = imp.values().iter().map(|x| x.to_bits()).collect();
+    let serial_naive = NaiveIndex::build(&graph, &damp, 4).table_bytes();
+    let serial_star = StarIndex::build(&graph, &damp, 4, &star_rels).table_bytes();
+
+    let mut stages = Vec::new();
+    for (name, run) in [
+        (
+            "pagerank",
+            Box::new(|threads: usize| {
+                let (got, secs) = time_best(|| {
+                    pagerank(
+                        &graph,
+                        PowerOptions {
+                            threads,
+                            ..Default::default()
+                        },
+                    )
+                });
+                let bits: Vec<u64> = got.values().iter().map(|x| x.to_bits()).collect();
+                assert_eq!(bits, serial_imp_bits, "pagerank diverged at {threads}");
+                secs
+            }) as Box<dyn Fn(usize) -> f64>,
+        ),
+        (
+            "naive_index",
+            Box::new(|threads: usize| {
+                let (got, secs) =
+                    time_best(|| NaiveIndex::build_with_threads(&graph, &damp, 4, threads));
+                assert_eq!(
+                    got.table_bytes(),
+                    serial_naive,
+                    "naive index diverged at {threads}"
+                );
+                secs
+            }),
+        ),
+        (
+            "star_index",
+            Box::new(|threads: usize| {
+                let (got, secs) = time_best(|| {
+                    StarIndex::build_with_threads(&graph, &damp, 4, &star_rels, threads)
+                });
+                assert_eq!(
+                    got.table_bytes(),
+                    serial_star,
+                    "star index diverged at {threads}"
+                );
+                secs
+            }),
+        ),
+        (
+            "full_pipeline",
+            Box::new(|threads: usize| {
+                let (snap, secs) = time_best(|| {
+                    EngineBuilder::new(CiRankConfig {
+                        weights: WeightConfig::dblp_default(),
+                        index: IndexKind::Star { relations: None },
+                        build_threads: threads,
+                        ..Default::default()
+                    })
+                    .build(&data.db)
+                    .expect("bench data is non-empty")
+                });
+                let bits: Vec<u64> = snap
+                    .importance()
+                    .values()
+                    .iter()
+                    .map(|x| x.to_bits())
+                    .collect();
+                assert_eq!(bits, serial_imp_bits, "pipeline diverged at {threads}");
+                secs
+            }),
+        ),
+    ] {
+        let secs: Vec<(usize, f64)> = THREAD_COUNTS.iter().map(|&t| (t, run(t))).collect();
+        for &(t, s) in &secs {
+            eprintln!(
+                "  {name:14} threads={t}  {s:.4}s  (speedup {:.2}x)",
+                secs[0].1 / s.max(1e-12)
+            );
+        }
+        stages.push(StageTiming { name, secs });
+    }
+
+    let report = json(&stages, hardware_threads);
+    std::fs::write(&out_path, &report).expect("write BENCH_build.json");
+    eprintln!("bench_build: wrote {out_path}");
+}

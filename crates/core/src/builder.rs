@@ -1,4 +1,5 @@
 use std::fmt;
+use std::time::{Duration, Instant};
 
 use ci_baselines::BanksPrestige;
 use ci_graph::build_graph;
@@ -61,6 +62,19 @@ impl fmt::Display for BuildStage {
     }
 }
 
+/// Wall-clock accounting for one completed [`BuildStage`], delivered
+/// through [`EngineBuilder::on_stage_report`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageReport {
+    /// The stage that just finished.
+    pub stage: BuildStage,
+    /// Wall-clock time the stage took.
+    pub elapsed: Duration,
+    /// Worker threads the stage ran with (`1` for the serial stages;
+    /// [`crate::CiRankConfig::build_threads`] for the parallel ones).
+    pub threads: usize,
+}
+
 /// Staged construction of an [`EngineSnapshot`].
 ///
 /// The pipeline runs graph → text index → importance → prestige →
@@ -73,6 +87,8 @@ impl fmt::Display for BuildStage {
 pub struct EngineBuilder {
     cfg: CiRankConfig,
     on_stage: Option<Box<dyn FnMut(BuildStage)>>,
+    on_stage_report: Option<Box<dyn FnMut(StageReport)>>,
+    running: Option<(BuildStage, Instant, usize)>,
 }
 
 impl fmt::Debug for EngineBuilder {
@@ -89,6 +105,8 @@ impl EngineBuilder {
         EngineBuilder {
             cfg,
             on_stage: None,
+            on_stage_report: None,
+            running: None,
         }
     }
 
@@ -99,9 +117,31 @@ impl EngineBuilder {
         self
     }
 
-    fn enter(&mut self, stage: BuildStage) {
+    /// Registers a completion callback, invoked with a [`StageReport`]
+    /// (wall-clock time and worker-thread count) as each [`BuildStage`]
+    /// finishes.
+    pub fn on_stage_report(mut self, f: impl FnMut(StageReport) + 'static) -> Self {
+        self.on_stage_report = Some(Box::new(f));
+        self
+    }
+
+    fn enter(&mut self, stage: BuildStage, threads: usize) {
+        self.finish_stage();
         if let Some(f) = self.on_stage.as_mut() {
             f(stage);
+        }
+        self.running = Some((stage, Instant::now(), threads));
+    }
+
+    fn finish_stage(&mut self) {
+        if let Some((stage, started, threads)) = self.running.take() {
+            if let Some(f) = self.on_stage_report.as_mut() {
+                f(StageReport {
+                    stage,
+                    elapsed: started.elapsed(),
+                    threads,
+                });
+            }
         }
     }
 
@@ -111,9 +151,10 @@ impl EngineBuilder {
             return Err(CiRankError::EmptyDatabase);
         }
         let cfg = self.cfg.clone();
+        let threads = cfg.build_threads.max(1);
 
         // Stage 1: the weighted data graph.
-        self.enter(BuildStage::Graph);
+        self.enter(BuildStage::Graph, 1);
         let graph = build_graph(db, &cfg.weights, cfg.merge.as_ref());
         let relation_names: Vec<String> = db
             .table_ids()
@@ -122,7 +163,7 @@ impl EngineBuilder {
 
         // Stage 2: one text document per graph node (merged nodes
         // concatenate their tuples' text).
-        self.enter(BuildStage::TextIndex);
+        self.enter(BuildStage::TextIndex, 1);
         let mut node_text = Vec::with_capacity(graph.node_count());
         let mut builder = IndexBuilder::new();
         for v in graph.nodes() {
@@ -139,13 +180,21 @@ impl EngineBuilder {
         }
         let text = builder.build();
 
-        // Stage 3: random-walk node importance (Eq. 1).
-        self.enter(BuildStage::Importance);
+        // Stage 3: random-walk node importance (Eq. 1). The power-iteration
+        // matvec fans out over `build_threads` workers and stays
+        // bit-identical to the serial path (see `PowerOptions::threads`);
+        // Monte-Carlo estimation is sequential over one RNG stream.
+        let importance_threads = match &cfg.importance {
+            ImportanceMethod::MonteCarlo { .. } => 1,
+            _ => threads,
+        };
+        self.enter(BuildStage::Importance, importance_threads);
         let importance = match &cfg.importance {
             ImportanceMethod::PowerIteration => pagerank(
                 &graph,
                 PowerOptions {
                     teleport: cfg.teleport,
+                    threads,
                     ..Default::default()
                 },
             ),
@@ -160,6 +209,7 @@ impl EngineBuilder {
                 &graph,
                 PowerOptions {
                     teleport: cfg.teleport,
+                    threads,
                     ..Default::default()
                 },
                 u,
@@ -167,13 +217,13 @@ impl EngineBuilder {
         };
 
         // Stage 4: BANKS prestige for the baseline rankers.
-        self.enter(BuildStage::Prestige);
+        self.enter(BuildStage::Prestige, 1);
         let prestige = BanksPrestige::compute(&graph);
 
         // Stage 5: the dampening vector, computed exactly once. The
         // snapshot's scorer, the distance index below, and score
         // explanations all read this same vector.
-        self.enter(BuildStage::Dampening);
+        self.enter(BuildStage::Dampening, 1);
         let damp = Scorer::new(
             &graph,
             importance.values(),
@@ -185,18 +235,33 @@ impl EngineBuilder {
         )
         .dampening_vector();
 
-        // Stage 6: the configured distance/retention index (§V).
-        self.enter(BuildStage::DistanceIndex);
+        // Stage 6: the configured distance/retention index (§V). Per-source
+        // traversals are independent, so the builds chunk source nodes
+        // across workers and merge rows back in source order —
+        // bit-identical tables at every thread count.
+        self.enter(BuildStage::DistanceIndex, threads);
         let dist = match &cfg.index {
             IndexKind::None => DistIndex::None,
-            IndexKind::Naive => DistIndex::Naive(NaiveIndex::build(&graph, &damp, cfg.diameter)),
+            IndexKind::Naive => DistIndex::Naive(NaiveIndex::build_with_threads(
+                &graph,
+                &damp,
+                cfg.diameter,
+                threads,
+            )),
             IndexKind::Star { relations } => {
                 let rels = relations
                     .clone()
                     .unwrap_or_else(|| detect_star_relations(&graph));
-                DistIndex::Star(StarIndex::build(&graph, &damp, cfg.diameter, &rels))
+                DistIndex::Star(StarIndex::build_with_threads(
+                    &graph,
+                    &damp,
+                    cfg.diameter,
+                    &rels,
+                    threads,
+                ))
             }
         };
+        self.finish_stage();
 
         Ok(EngineSnapshot::assemble(
             cfg,
@@ -244,6 +309,50 @@ mod tests {
         .unwrap();
         assert_eq!(seen.borrow().as_slice(), &BuildStage::ALL);
         assert_eq!(snap.graph().node_count(), 2);
+    }
+
+    #[test]
+    fn stage_reports_cover_all_stages_with_thread_counts() {
+        let reports = Rc::new(RefCell::new(Vec::new()));
+        let sink = Rc::clone(&reports);
+        EngineBuilder::new(CiRankConfig {
+            weights: WeightConfig::dblp_default(),
+            index: crate::IndexKind::Naive,
+            build_threads: 3,
+            ..Default::default()
+        })
+        .on_stage_report(move |r| sink.borrow_mut().push(r))
+        .build(&tiny_db())
+        .unwrap();
+        let reports = reports.borrow();
+        let stages: Vec<BuildStage> = reports.iter().map(|r| r.stage).collect();
+        assert_eq!(stages.as_slice(), &BuildStage::ALL);
+        for r in reports.iter() {
+            let expect = match r.stage {
+                BuildStage::Importance | BuildStage::DistanceIndex => 3,
+                _ => 1,
+            };
+            assert_eq!(r.threads, expect, "threads for {}", r.stage);
+        }
+    }
+
+    #[test]
+    fn parallel_build_threads_yield_identical_snapshots() {
+        let bits = |threads: usize| {
+            let snap = EngineBuilder::new(CiRankConfig {
+                weights: WeightConfig::dblp_default(),
+                build_threads: threads,
+                ..Default::default()
+            })
+            .build(&tiny_db())
+            .unwrap();
+            snap.importance()
+                .values()
+                .iter()
+                .map(|&x| x.to_bits())
+                .collect::<Vec<u64>>()
+        };
+        assert_eq!(bits(1), bits(4));
     }
 
     #[test]

@@ -64,6 +64,11 @@ pub struct CiRankConfig {
     pub naive_max_paths: usize,
     /// Naive search: per-root keyword combination cap.
     pub naive_max_combinations: usize,
+    /// Worker threads for the offline build (importance power iteration
+    /// and the per-source index traversals). Every thread count produces
+    /// bit-identical snapshots; `1` runs today's serial code path exactly.
+    /// Defaults to the machine's available parallelism.
+    pub build_threads: usize,
 }
 
 impl Default for CiRankConfig {
@@ -82,6 +87,9 @@ impl Default for CiRankConfig {
             max_expansions: None,
             naive_max_paths: 256,
             naive_max_combinations: 100_000,
+            build_threads: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
         }
     }
 }
@@ -113,6 +121,7 @@ mod tests {
         assert_eq!(c.teleport, 0.15);
         assert_eq!(c.diameter, 4);
         assert!(matches!(c.index, IndexKind::Star { relations: None }));
+        assert!(c.build_threads >= 1, "build_threads must be usable as-is");
     }
 
     #[test]

@@ -96,7 +96,7 @@ mod session;
 mod snapshot;
 
 pub use budget::{QueryBudget, TruncationReason};
-pub use builder::{BuildStage, EngineBuilder};
+pub use builder::{BuildStage, EngineBuilder, StageReport};
 pub use config::{CiRankConfig, ImportanceMethod, IndexKind};
 pub use engine::Engine;
 pub use error::CiRankError;

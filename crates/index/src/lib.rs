@@ -69,6 +69,7 @@
 mod dispatch;
 mod naive;
 mod oracle;
+mod parallel;
 mod star;
 
 pub use dispatch::{DistIndex, OracleVisitor};

@@ -3,6 +3,7 @@ use std::collections::HashMap;
 use ci_graph::{hop_bounded_costs, Graph, NodeId};
 
 use crate::oracle::DistanceOracle;
+use crate::parallel::{map_sources, serialize_tables};
 
 /// §V-A naive index: exact shortest distances and maximal retention factors
 /// for every node pair within `cap` hops.
@@ -23,25 +24,49 @@ impl NaiveIndex {
     /// (Eq. 2, supplied by the RWMP scorer); `cap` bounds the stored hop
     /// distance and should be at least the search diameter `D`.
     pub fn build(graph: &Graph, damp: &[f64], cap: u32) -> Self {
+        Self::build_with_threads(graph, damp, cap, 1)
+    }
+
+    /// Like [`NaiveIndex::build`], with the per-source traversals fanned
+    /// out over `threads` scoped workers. Sources are partitioned into
+    /// contiguous chunks and each row is computed independently, so the
+    /// resulting tables are bit-identical at every thread count
+    /// (`threads <= 1` is exactly the serial build).
+    pub fn build_with_threads(graph: &Graph, damp: &[f64], cap: u32, threads: usize) -> Self {
         assert_eq!(
             damp.len(),
             graph.node_count(),
             "dampening vector length mismatch"
         );
         let d_max = damp.iter().cloned().fold(0.0f64, f64::max).min(1.0);
-        let mut entries = HashMap::new();
-        for u in graph.nodes() {
+        let sources: Vec<NodeId> = graph.nodes().collect();
+        let rows = map_sources(&sources, threads, |u| {
             // Hop-layered DP: exact hop distance plus the best retention
             // among paths of ≤ cap hops (−ln d edge costs; a plain
             // Dijkstra would drop nodes whose globally cheapest path
             // exceeds the hop cap).
+            let mut row: Vec<(u32, (u32, f64))> = Vec::new();
             for (node, (cost, dist)) in hop_bounded_costs(graph, u, cap, |_, to| {
                 -damp.get(to.idx()).copied().unwrap_or(1.0).ln()
             }) {
-                if node == u.0 {
+                // A frontier cut at the cap must drop the row entirely —
+                // storing a clamped distance would make `distance()` claim
+                // exactness for an out-of-range pair.
+                debug_assert!(
+                    dist <= cap,
+                    "BFS row beyond cap must be dropped, not clamped"
+                );
+                if node == u.0 || dist > cap {
                     continue;
                 }
-                entries.insert((u.0, node), (dist, (-cost).exp()));
+                row.push((node, (dist, (-cost).exp())));
+            }
+            row
+        });
+        let mut entries = HashMap::new();
+        for (u, row) in sources.iter().zip(rows) {
+            for (node, entry) in row {
+                entries.insert((u.0, node), entry);
             }
         }
         NaiveIndex {
@@ -50,6 +75,15 @@ impl NaiveIndex {
             damp: damp.to_vec(),
             d_max,
         }
+    }
+
+    /// Canonical serialization of the stored tables — the paper's `DS`
+    /// (hop distance) and `LS` (retention, stored bit-exact via
+    /// `f64::to_bits`) columns in ascending `(u, v)` order. Two builds
+    /// produce equal bytes here iff their tables are identical bit for
+    /// bit; the parallel-build determinism harness compares these.
+    pub fn table_bytes(&self) -> Vec<u8> {
+        serialize_tables(&self.entries)
     }
 
     /// The hop cap the index was built with.
@@ -192,6 +226,45 @@ mod tests {
             (r - 0.9 * 0.9 * 0.5).abs() < 1e-12,
             "detour retention, got {r}"
         );
+    }
+
+    #[test]
+    fn cap_boundary_exact_and_beyond() {
+        // Path 0 — 1 — 2 — 3 — 4 — 5 with cap 4: node 4 sits at exactly
+        // `cap` hops from node 0 (stored, exact), node 5 at `cap + 1`
+        // (must be absent — a clamped Some(cap) would claim exactness for
+        // an out-of-range pair).
+        let mut b = GraphBuilder::new();
+        let n: Vec<NodeId> = (0..6).map(|_| b.add_node(0, vec![])).collect();
+        for w in n.windows(2) {
+            b.add_pair(w[0], w[1], 1.0, 1.0);
+        }
+        let g = b.build();
+        let damp = vec![0.5; 6];
+        let cap = 4;
+        let idx = NaiveIndex::build(&g, &damp, cap);
+        assert_eq!(idx.distance(NodeId(0), NodeId(4)), Some(cap));
+        assert_eq!(idx.dist_lb(NodeId(0), NodeId(4)), cap);
+        assert_eq!(
+            idx.distance(NodeId(0), NodeId(5)),
+            None,
+            "a frontier cut at the cap must not clamp"
+        );
+        assert_eq!(idx.dist_lb(NodeId(0), NodeId(5)), cap + 1);
+        // The cap+1 pair's retention falls back to the d_max power bound.
+        let r = idx.retention_ub(NodeId(0), NodeId(5));
+        assert!((r - 0.5f64.powi(cap as i32 + 1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_build_tables_are_byte_equal() {
+        let (g, d) = path4();
+        let serial = NaiveIndex::build(&g, &d, 3).table_bytes();
+        for threads in [2, 3, 8] {
+            let par = NaiveIndex::build_with_threads(&g, &d, 3, threads);
+            assert_eq!(par.table_bytes(), serial, "{threads} threads diverged");
+            assert_eq!(par.len(), 12);
+        }
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! Deterministic fork/join over BFS source nodes for the index builds.
+//!
+//! Both index builds run one independent hop-bounded traversal per source
+//! node, so the offline build parallelizes by partitioning sources into
+//! contiguous chunks across scoped workers. Each worker writes only its
+//! own disjoint chunk of the output rows, and rows are merged back in
+//! source order — the result is the same row set (and therefore the same
+//! `DS`/`LS` tables, bit for bit) at every thread count.
+//!
+//! `std::thread::scope` is used deliberately: workers borrow the graph and
+//! dampening vector, and scoped threads cannot outlive those borrows
+//! (`cargo xtask lint` rule 5 bans detached `thread::spawn` in library
+//! crates for exactly this reason).
+
+use std::collections::HashMap;
+
+use ci_graph::NodeId;
+
+/// Canonical byte form of an index's `(u, v) → (DS, LS)` table: rows
+/// sorted ascending by `(u, v)`, retention serialized via `f64::to_bits`.
+/// Equality of these bytes is equality of the tables bit for bit.
+pub(crate) fn serialize_tables(entries: &HashMap<(u32, u32), (u32, f64)>) -> Vec<u8> {
+    let mut rows: Vec<(u32, u32, u32, u64)> = entries
+        .iter()
+        .map(|(&(u, v), &(d, r))| (u, v, d, r.to_bits()))
+        .collect();
+    rows.sort_unstable();
+    let mut out = Vec::with_capacity(rows.len() * 20);
+    for (u, v, d, r) in rows {
+        out.extend_from_slice(&u.to_le_bytes());
+        out.extend_from_slice(&v.to_le_bytes());
+        out.extend_from_slice(&d.to_le_bytes());
+        out.extend_from_slice(&r.to_le_bytes());
+    }
+    out
+}
+
+/// Clamps a requested worker count to something useful: at least 1, at
+/// most one worker per source.
+pub(crate) fn effective_threads(requested: usize, sources: usize) -> usize {
+    requested.max(1).min(sources.max(1))
+}
+
+/// Applies `row` to every source node, fanning the work out over `threads`
+/// scoped workers in contiguous chunks. The output is ordered like
+/// `sources` regardless of thread count; with `threads <= 1` no thread is
+/// spawned and the call is exactly a serial map.
+pub(crate) fn map_sources<T, F>(sources: &[NodeId], threads: usize, row: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(NodeId) -> T + Sync,
+{
+    let threads = effective_threads(threads, sources.len());
+    if threads <= 1 || sources.len() <= 1 {
+        return sources.iter().map(|&u| row(u)).collect();
+    }
+    let mut rows: Vec<Option<T>> = Vec::new();
+    rows.resize_with(sources.len(), || None);
+    let chunk = sources.len().div_ceil(threads);
+    std::thread::scope(|s| {
+        for (src_chunk, out_chunk) in sources.chunks(chunk).zip(rows.chunks_mut(chunk)) {
+            let row = &row;
+            s.spawn(move || {
+                for (u, slot) in src_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = Some(row(*u));
+                }
+            });
+        }
+    });
+    debug_assert!(
+        rows.iter().all(Option::is_some),
+        "every source chunk must be fully materialized before the merge"
+    );
+    rows.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_is_preserved_at_every_thread_count() {
+        let sources: Vec<NodeId> = (0..23).map(NodeId).collect();
+        let serial = map_sources(&sources, 1, |u| u.0 * 10);
+        for threads in [2, 3, 8, 64] {
+            assert_eq!(map_sources(&sources, threads, |u| u.0 * 10), serial);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_source() {
+        assert!(map_sources(&[], 4, |u| u.0).is_empty());
+        assert_eq!(map_sources(&[NodeId(7)], 4, |u| u.0), vec![7]);
+    }
+
+    #[test]
+    fn thread_clamping() {
+        assert_eq!(effective_threads(0, 10), 1);
+        assert_eq!(effective_threads(8, 3), 3);
+        assert_eq!(effective_threads(2, 10), 2);
+        assert_eq!(effective_threads(4, 0), 1);
+    }
+}

@@ -3,6 +3,7 @@ use std::collections::{HashMap, HashSet};
 use ci_graph::{hop_bounded_costs, Graph, NodeId};
 
 use crate::oracle::DistanceOracle;
+use crate::parallel::{map_sources, serialize_tables};
 
 /// Greedy detection of star relations: the smallest set of relation tags
 /// (tables) such that every edge of the graph touches a node of one of
@@ -90,6 +91,25 @@ impl StarIndex {
     /// If some edge touches no star node (the star property would be
     /// violated and the bounds unsound).
     pub fn build(graph: &Graph, damp: &[f64], cap: u32, star_relations: &[u16]) -> Self {
+        Self::build_with_threads(graph, damp, cap, star_relations, 1)
+    }
+
+    /// Like [`StarIndex::build`], with the per-star-node traversals fanned
+    /// out over `threads` scoped workers in contiguous source chunks. The
+    /// resulting tables are bit-identical at every thread count
+    /// (`threads <= 1` is exactly the serial build).
+    ///
+    /// # Panics
+    ///
+    /// If some edge touches no star node (the star property would be
+    /// violated and the bounds unsound).
+    pub fn build_with_threads(
+        graph: &Graph,
+        damp: &[f64],
+        cap: u32,
+        star_relations: &[u16],
+        threads: usize,
+    ) -> Self {
         assert_eq!(
             damp.len(),
             graph.node_count(),
@@ -113,20 +133,29 @@ impl StarIndex {
             }
         }
         let d_max = damp.iter().cloned().fold(0.0f64, f64::max).min(1.0);
-        let mut entries = HashMap::new();
-        for u in graph.nodes() {
-            if !starred(u) {
-                continue;
-            }
+        let sources: Vec<NodeId> = graph.nodes().filter(|&v| starred(v)).collect();
+        let rows = map_sources(&sources, threads, |u| {
             // Hop-layered DP (see NaiveIndex::build): exact hop distance
             // and best retention among ≤ cap-hop paths.
+            let mut row: Vec<(u32, (u32, f64))> = Vec::new();
             for (node, (cost, dist)) in hop_bounded_costs(graph, u, cap, |_, to| {
                 -damp.get(to.idx()).copied().unwrap_or(1.0).ln()
             }) {
-                if node == u.0 || !starred(NodeId(node)) {
+                debug_assert!(
+                    dist <= cap,
+                    "BFS row beyond cap must be dropped, not clamped"
+                );
+                if node == u.0 || dist > cap || !starred(NodeId(node)) {
                     continue;
                 }
-                entries.insert((u.0, node), (dist, (-cost).exp()));
+                row.push((node, (dist, (-cost).exp())));
+            }
+            row
+        });
+        let mut entries = HashMap::new();
+        for (u, row) in sources.iter().zip(rows) {
+            for (node, entry) in row {
+                entries.insert((u.0, node), entry);
             }
         }
         StarIndex {
@@ -136,6 +165,16 @@ impl StarIndex {
             damp: damp.to_vec(),
             d_max,
         }
+    }
+
+    /// Canonical serialization of the star-pair tables (see
+    /// [`crate::NaiveIndex::table_bytes`]), prefixed with the star-node
+    /// bitmap so two builds are byte-equal here iff both the indexed pairs
+    /// and the star partition agree exactly.
+    pub fn table_bytes(&self) -> Vec<u8> {
+        let mut out: Vec<u8> = self.star.iter().map(|&s| u8::from(s)).collect();
+        out.extend_from_slice(&serialize_tables(&self.entries));
+        out
     }
 
     /// True if the node is a star node.
@@ -455,6 +494,16 @@ mod tests {
         assert!(star.len() < naive.len());
         // Only the 2 ordered movie pairs are stored.
         assert_eq!(star.len(), 2);
+    }
+
+    #[test]
+    fn parallel_build_tables_are_byte_equal() {
+        let (g, d) = imdb_like();
+        let serial = StarIndex::build(&g, &d, 6, &[1]).table_bytes();
+        for threads in [2, 5] {
+            let par = StarIndex::build_with_threads(&g, &d, 6, &[1], threads);
+            assert_eq!(par.table_bytes(), serial, "{threads} threads diverged");
+        }
     }
 
     #[test]

@@ -113,6 +113,50 @@ proptest! {
         }
     }
 
+    /// Cross-oracle equivalence: when every relation is a star relation,
+    /// the star index stores exactly the naive index's pairs, so the two
+    /// oracles must agree on distance and retention for every node pair
+    /// within the cap (and on the out-of-cap fallbacks beyond it). The
+    /// star oracle's three lookup cases all collapse to case 1 here, so
+    /// any disagreement means one of the builds drifted.
+    #[test]
+    fn all_star_oracle_matches_naive(case in star_case()) {
+        let (g, damp) = build(&case);
+        let cap = 5;
+        let naive = NaiveIndex::build(&g, &damp, cap);
+        let star = StarIndex::build(&g, &damp, cap, &[0, 1]).into_oracle(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                prop_assert_eq!(
+                    star.dist_lb(u, v),
+                    naive.dist_lb(u, v),
+                    "distance disagreement at ({}, {})", u, v
+                );
+                let rs = star.retention_ub(u, v);
+                let rn = naive.retention_ub(u, v);
+                // The adjacency shortcut reads d_v directly while the naive
+                // table stores min(exp(Σ ln d), d_v); equal up to rounding.
+                prop_assert!(
+                    (rs - rn).abs() <= 1e-12,
+                    "retention disagreement at ({}, {}): star {} vs naive {}", u, v, rs, rn
+                );
+            }
+        }
+    }
+
+    /// Parallel index builds are differentially equal to serial ones on
+    /// every generated graph: same `DS`/`LS` bytes, bit for bit.
+    #[test]
+    fn parallel_builds_match_serial(case in star_case(), threads in 2usize..9) {
+        let (g, damp) = build(&case);
+        let naive_serial = NaiveIndex::build(&g, &damp, 5).table_bytes();
+        let naive_par = NaiveIndex::build_with_threads(&g, &damp, 5, threads).table_bytes();
+        prop_assert_eq!(naive_serial, naive_par);
+        let star_serial = StarIndex::build(&g, &damp, 5, &[1]).table_bytes();
+        let star_par = StarIndex::build_with_threads(&g, &damp, 5, &[1], threads).table_bytes();
+        prop_assert_eq!(star_serial, star_par);
+    }
+
     /// Star-index bounds sandwich naive-index truth on star-schema graphs.
     #[test]
     fn star_bounds_sound(case in star_case()) {

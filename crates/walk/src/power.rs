@@ -1,4 +1,4 @@
-use ci_graph::Graph;
+use ci_graph::{Graph, NodeId};
 
 use crate::importance::Importance;
 
@@ -11,6 +11,13 @@ pub struct PowerOptions {
     pub epsilon: f64,
     /// Iteration cap.
     pub max_iterations: usize,
+    /// Worker threads for the per-iteration matvec. `1` (the default) runs
+    /// the serial scatter loop; larger values gather over a precomputed
+    /// edge transpose in contiguous destination chunks. The gather adds
+    /// each slot's contributions in the same source order as the serial
+    /// scatter, so the iterates — and therefore importance, convergence
+    /// counts, and residuals — are bit-identical at every thread count.
+    pub threads: usize,
 }
 
 impl Default for PowerOptions {
@@ -19,6 +26,7 @@ impl Default for PowerOptions {
             teleport: 0.15,
             epsilon: 1e-10,
             max_iterations: 200,
+            threads: 1,
         }
     }
 }
@@ -90,6 +98,10 @@ fn solve(graph: &Graph, opts: PowerOptions, u: &[f64]) -> (Importance, Convergen
     );
     let n = graph.node_count();
     let c = opts.teleport;
+    let threads = opts.threads.max(1).min(n.max(1));
+    // The transpose is only needed by the parallel gather; `threads == 1`
+    // keeps the original scatter loop (and allocates nothing extra).
+    let transpose = (threads > 1).then(|| Transpose::build(graph));
     let mut p = u.to_vec();
     let mut next = vec![0.0f64; n];
     let mut report = Convergence {
@@ -98,25 +110,21 @@ fn solve(graph: &Graph, opts: PowerOptions, u: &[f64]) -> (Importance, Convergen
         converged: false,
     };
     for _ in 0..opts.max_iterations {
-        next.iter_mut().for_each(|x| *x = 0.0);
         // Dangling nodes (no out-edges) teleport with probability 1: their
-        // walk mass is redistributed via u.
+        // walk mass is redistributed via u. Summed over ascending node ids
+        // — the same accumulation order as the serial scatter loop used —
+        // so the redistribution term is bit-identical at every thread
+        // count.
         let mut dangling = 0.0;
         for v in graph.nodes() {
-            let mass = p.get(v.idx()).copied().unwrap_or(0.0);
             if graph.out_degree(v) == 0 {
-                dangling += mass;
-                continue;
-            }
-            for e in graph.edges(v) {
-                if let Some(slot) = next.get_mut(e.to.idx()) {
-                    *slot += (1.0 - c) * mass * e.norm_weight;
-                }
+                dangling += p.get(v.idx()).copied().unwrap_or(0.0);
             }
         }
         let redistribute = c + (1.0 - c) * dangling;
-        for (slot, mass) in next.iter_mut().zip(u.iter()) {
-            *slot += redistribute * mass;
+        match &transpose {
+            None => scatter_matvec(graph, c, &p, u, redistribute, &mut next),
+            Some(t) => t.gather_matvec(threads, c, &p, u, redistribute, &mut next),
         }
         let delta: f64 = next.iter().zip(p.iter()).map(|(a, b)| (a - b).abs()).sum();
         std::mem::swap(&mut p, &mut next);
@@ -128,6 +136,128 @@ fn solve(graph: &Graph, opts: PowerOptions, u: &[f64]) -> (Importance, Convergen
         }
     }
     (Importance::new(p), report)
+}
+
+/// One matvec step of Eq. 1 in scatter (push) form: for each source node in
+/// ascending id order, push `(1−c)·p_v·w` along every out-edge, then add the
+/// teleport/dangling redistribution. This is the reference float-reduction
+/// order the parallel gather reproduces exactly.
+fn scatter_matvec(
+    graph: &Graph,
+    c: f64,
+    p: &[f64],
+    u: &[f64],
+    redistribute: f64,
+    next: &mut [f64],
+) {
+    next.iter_mut().for_each(|x| *x = 0.0);
+    for v in graph.nodes() {
+        let mass = p.get(v.idx()).copied().unwrap_or(0.0);
+        for e in graph.edges(v) {
+            if let Some(slot) = next.get_mut(e.to.idx()) {
+                *slot += (1.0 - c) * mass * e.norm_weight;
+            }
+        }
+    }
+    for (slot, mass) in next.iter_mut().zip(u.iter()) {
+        *slot += redistribute * mass;
+    }
+}
+
+/// In-edge adjacency (CSR transpose) for the gather form of the matvec.
+///
+/// Built by scanning source nodes in ascending id order, so each
+/// destination's in-edge list is sorted by (source id, source edge order)
+/// — exactly the order in which [`scatter_matvec`] adds contributions to
+/// that destination's slot. A gather that walks the list front to back
+/// therefore performs the identical sequence of f64 additions per slot,
+/// making the parallel result bit-equal to the serial one.
+struct Transpose {
+    /// Per-destination offsets into `srcs`/`weights` (`node_count + 1`).
+    offsets: Vec<usize>,
+    /// Source node of each in-edge.
+    srcs: Vec<NodeId>,
+    /// Normalized weight of each in-edge.
+    weights: Vec<f64>,
+}
+
+impl Transpose {
+    fn build(graph: &Graph) -> Transpose {
+        let n = graph.node_count();
+        let mut deg = vec![0usize; n];
+        for v in graph.nodes() {
+            for e in graph.edges(v) {
+                if let Some(d) = deg.get_mut(e.to.idx()) {
+                    *d += 1;
+                }
+            }
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut total = 0usize;
+        offsets.push(0);
+        for d in &deg {
+            total += d;
+            offsets.push(total);
+        }
+        let mut cursor: Vec<usize> = offsets.iter().take(n).copied().collect();
+        let mut srcs = vec![NodeId(0); total];
+        let mut weights = vec![0.0f64; total];
+        for v in graph.nodes() {
+            for e in graph.edges(v) {
+                if let Some(slot) = cursor.get_mut(e.to.idx()) {
+                    let at = *slot;
+                    *slot += 1;
+                    if let Some(s) = srcs.get_mut(at) {
+                        *s = v;
+                    }
+                    if let Some(w) = weights.get_mut(at) {
+                        *w = e.norm_weight;
+                    }
+                }
+            }
+        }
+        Transpose {
+            offsets,
+            srcs,
+            weights,
+        }
+    }
+
+    /// The matvec in gather (pull) form, fanned out over `threads` scoped
+    /// workers owning contiguous, disjoint destination chunks. Per slot the
+    /// additions run in the same order as [`scatter_matvec`]: in-edge
+    /// contributions sorted by source, then the redistribution term.
+    fn gather_matvec(
+        &self,
+        threads: usize,
+        c: f64,
+        p: &[f64],
+        u: &[f64],
+        redistribute: f64,
+        next: &mut [f64],
+    ) {
+        let chunk = next.len().div_ceil(threads).max(1);
+        std::thread::scope(|s| {
+            for (ci, out) in next.chunks_mut(chunk).enumerate() {
+                let start = ci * chunk;
+                s.spawn(move || {
+                    for (off, slot) in out.iter_mut().enumerate() {
+                        let j = start + off;
+                        let lo = self.offsets.get(j).copied().unwrap_or(0);
+                        let hi = self.offsets.get(j + 1).copied().unwrap_or(lo);
+                        let in_srcs = self.srcs.get(lo..hi).unwrap_or(&[]);
+                        let in_weights = self.weights.get(lo..hi).unwrap_or(&[]);
+                        let mut acc = 0.0f64;
+                        for (src, w) in in_srcs.iter().zip(in_weights) {
+                            let mass = p.get(src.idx()).copied().unwrap_or(0.0);
+                            acc += (1.0 - c) * mass * w;
+                        }
+                        *slot = acc + redistribute * u.get(j).copied().unwrap_or(0.0);
+                    }
+                });
+            }
+        });
+    }
 }
 
 #[cfg(test)]
@@ -247,6 +377,76 @@ mod tests {
         );
         assert!(!starved.converged);
         assert_eq!(starved.iterations, 5);
+    }
+
+    #[test]
+    fn parallel_matvec_is_bit_identical() {
+        // Asymmetric weights, a dangling node, and a cycle: every code path
+        // of the matvec. The gather at 2/3/8 threads must reproduce the
+        // serial scatter bit for bit, residuals and iteration counts
+        // included.
+        let mut b = GraphBuilder::new();
+        let n: Vec<NodeId> = (0..7).map(|i| b.add_node((i % 2) as u16, vec![])).collect();
+        b.add_pair(n[0], n[1], 3.0, 1.0);
+        b.add_pair(n[1], n[2], 2.0, 5.0);
+        b.add_pair(n[2], n[3], 1.0, 1.0);
+        b.add_pair(n[3], n[0], 4.0, 2.0);
+        b.add_pair(n[2], n[4], 1.0, 7.0);
+        b.add_edge(n[4], n[5], 2.0); // n5 left dangling on purpose
+        b.add_pair(n[0], n[6], 1.0, 1.0);
+        let g = b.build();
+        let (serial, serial_conv) = pagerank_with_stats(&g, PowerOptions::default());
+        for threads in [2, 3, 8] {
+            let (par, conv) = pagerank_with_stats(
+                &g,
+                PowerOptions {
+                    threads,
+                    ..Default::default()
+                },
+            );
+            let serial_bits: Vec<u64> = serial.values().iter().map(|x| x.to_bits()).collect();
+            let par_bits: Vec<u64> = par.values().iter().map(|x| x.to_bits()).collect();
+            assert_eq!(par_bits, serial_bits, "{threads} threads diverged");
+            assert_eq!(conv.iterations, serial_conv.iterations);
+            assert_eq!(conv.residual.to_bits(), serial_conv.residual.to_bits());
+            assert_eq!(conv.converged, serial_conv.converged);
+        }
+    }
+
+    #[test]
+    fn parallel_personalized_is_bit_identical() {
+        let g = star(5);
+        let mut u = vec![0.0; g.node_count()];
+        u[2] = 0.7;
+        u[4] = 0.3;
+        let serial = pagerank_personalized(&g, PowerOptions::default(), &u);
+        let par = pagerank_personalized(
+            &g,
+            PowerOptions {
+                threads: 4,
+                ..Default::default()
+            },
+            &u,
+        );
+        for (a, b) in serial.values().iter().zip(par.values()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn thread_count_exceeding_nodes_is_clamped() {
+        let g = star(2); // 3 nodes, 64 requested threads
+        let serial = pagerank(&g, PowerOptions::default());
+        let par = pagerank(
+            &g,
+            PowerOptions {
+                threads: 64,
+                ..Default::default()
+            },
+        );
+        for (a, b) in serial.values().iter().zip(par.values()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

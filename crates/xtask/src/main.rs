@@ -25,6 +25,13 @@
 //!    inline; a `dyn` slipping back in would silently reintroduce a
 //!    virtual call per probe. The index's `DistIndex::with_oracle` is the
 //!    one sanctioned dispatch point.
+//! 5. **Scoped threads only** — library crates must not call detached
+//!    `thread::spawn`. The parallel offline build borrows the graph and
+//!    dampening vectors across its workers; `std::thread::scope` makes the
+//!    borrow sound *and* joins (propagating panics) before returning, while
+//!    a detached spawn would force `'static` bounds (cloning the graph) or
+//!    leak a running worker past an early error return. Tests may still
+//!    spawn freely (e.g. the concurrent-serving harness).
 //!
 //! The checker is deliberately textual (the offline build environment has
 //! no `syn`); the heuristics below are documented inline and tuned to this
@@ -83,7 +90,9 @@ fn lint() -> ExitCode {
         check_tagged_allows(&root.join("crates").join(krate).join("src"), &mut findings);
     }
     for krate in LIBRARY_CRATES {
-        check_no_panicking(&root.join("crates").join(krate).join("src"), &mut findings);
+        let src = root.join("crates").join(krate).join("src");
+        check_no_panicking(&src, &mut findings);
+        check_no_detached_threads(&src, &mut findings);
     }
     check_no_dyn_oracle(&root, &mut findings);
 
@@ -264,6 +273,52 @@ fn check_no_panicking(src_dir: &Path, findings: &mut Vec<String>) {
     }
 }
 
+/// Rule 5: no detached `thread::spawn` in library code. Scoped spawns
+/// (`std::thread::scope(|s| s.spawn(...))`) do not match the pattern and
+/// stay legal — they join before returning and admit borrowed data.
+fn check_no_detached_threads(src_dir: &Path, findings: &mut Vec<String>) {
+    for file in rust_files(src_dir) {
+        let Ok(src) = fs::read_to_string(&file) else {
+            continue;
+        };
+        for n in detached_spawn_hits(&src) {
+            findings.push(format!(
+                "{}:{}: detached `thread::spawn` in library code — use \
+                 `std::thread::scope` so workers join (and may borrow) \
+                 before the call returns",
+                file.display(),
+                n
+            ));
+        }
+    }
+}
+
+/// 1-based line numbers in the non-test region of `src` that call
+/// `thread::spawn` outside comments, string literals, and `LINT-EXEMPT`
+/// coverage. The scoped `s.spawn(...)` form deliberately does not match.
+fn detached_spawn_hits(src: &str) -> Vec<usize> {
+    let lines: Vec<&str> = non_test_region(src).collect();
+    let mut hits = Vec::new();
+    for (n, line) in lines.iter().enumerate() {
+        if line.trim_start().starts_with("//") {
+            continue;
+        }
+        if !strip_strings(line).contains("thread::spawn") {
+            continue;
+        }
+        let start = n.saturating_sub(EXEMPT_WINDOW);
+        let covered = lines
+            .get(start..n)
+            .unwrap_or(&[])
+            .iter()
+            .any(|l| l.contains("LINT-EXEMPT("));
+        if !covered {
+            hits.push(n + 1);
+        }
+    }
+    hits
+}
+
 /// Rule 4: no `dyn DistanceOracle` in the search hot path. The non-test
 /// region of the branch-and-bound loop, the bound computations, and the
 /// naive enumerator must stay generic over the oracle; tests may still use
@@ -425,6 +480,24 @@ mod tests {
         assert!(dyn_oracle_hits(in_tests).is_empty());
         let in_comment = "// a &dyn DistanceOracle used to live here\n";
         assert!(dyn_oracle_hits(in_comment).is_empty());
+    }
+
+    #[test]
+    fn detached_spawn_flagged_scoped_spawn_legal() {
+        let detached = "let h = std::thread::spawn(move || work());\n";
+        assert_eq!(detached_spawn_hits(detached), vec![1]);
+        let bare = "thread::spawn(|| {});\n";
+        assert_eq!(detached_spawn_hits(bare), vec![1]);
+        let scoped = "std::thread::scope(|s| {\n    s.spawn(|| work());\n});\n";
+        assert!(detached_spawn_hits(scoped).is_empty());
+        let in_tests = "fn f() {}\n#[cfg(test)]\nmod tests {\n\
+                            fn g() { std::thread::spawn(|| {}); }\n}\n";
+        assert!(detached_spawn_hits(in_tests).is_empty());
+        let in_comment = "// thread::spawn would be wrong here\n";
+        assert!(detached_spawn_hits(in_comment).is_empty());
+        let exempted = "// LINT-EXEMPT(demo): must detach\n\
+                        std::thread::spawn(|| {});\n";
+        assert!(detached_spawn_hits(exempted).is_empty());
     }
 
     #[test]

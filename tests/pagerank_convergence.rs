@@ -1,0 +1,96 @@
+//! Convergence regression guard for the Eq. 1 power iteration.
+//!
+//! With teleport c = 0.15 the iteration contracts by at least (1 − c) per
+//! step, so the default epsilon of 1e-10 must be reached well inside the
+//! 200-iteration cap: ln(1e-10)/ln(0.85) ≈ 142. A regression that slows
+//! convergence (wrong dangling handling, a normalization bug, a broken
+//! delta) shows up here as a blown iteration budget or `converged: false`
+//! long before it corrupts ranking quality downstream — and the parallel
+//! matvec must not change the iterate sequence at all, so the diagnostics
+//! themselves are compared bit-for-bit across thread counts.
+
+// LINT-EXEMPT(tests): integration tests may unwrap/index freely; the
+// workspace lint wall applies to library code only (ISSUE 1).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing
+)]
+
+use ci_datagen::{generate_dblp, sample_database, DblpConfig};
+use ci_graph::{build_graph, Graph, WeightConfig};
+use ci_walk::{pagerank_with_stats, PowerOptions};
+
+/// Iteration ceiling: the contraction argument gives ≈ 142 iterations for
+/// epsilon 1e-10; real graphs converge faster. 180 leaves slack for graph
+/// structure while still catching anything that degrades the rate.
+const ITERATION_BOUND: usize = 180;
+
+fn graphs() -> Vec<(&'static str, Graph)> {
+    let data = generate_dblp(DblpConfig {
+        papers: 140,
+        authors: 70,
+        conferences: 6,
+        seed: 17,
+        ..Default::default()
+    });
+    let full = build_graph(&data.db, &WeightConfig::dblp_default(), None);
+    // Sampling leaves dangling stubs and isolated nodes — the slowest
+    // configuration for the dangling-mass redistribution.
+    let sampled = sample_database(&data.db, 0.5, 23).db;
+    let sampled = build_graph(&sampled, &WeightConfig::dblp_default(), None);
+    vec![("full", full), ("sampled", sampled)]
+}
+
+#[test]
+fn power_iteration_converges_within_bound() {
+    for (name, graph) in graphs() {
+        let (importance, conv) = pagerank_with_stats(&graph, PowerOptions::default());
+        assert!(conv.converged, "{name}: power iteration did not converge");
+        assert!(
+            conv.iterations <= ITERATION_BOUND,
+            "{name}: {} iterations exceeds the {ITERATION_BOUND} regression bound",
+            conv.iterations
+        );
+        assert!(
+            conv.residual <= 1e-10,
+            "{name}: final residual {} above epsilon",
+            conv.residual
+        );
+        // The result is a probability distribution (Eq. 1 is a stochastic
+        // fixed point): positive everywhere, summing to 1.
+        let sum: f64 = importance.values().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "{name}: mass sum {sum}");
+        assert!(importance.values().iter().all(|&x| x > 0.0));
+    }
+}
+
+#[test]
+fn convergence_diagnostics_are_thread_invariant() {
+    for (name, graph) in graphs() {
+        let (base_imp, base) = pagerank_with_stats(&graph, PowerOptions::default());
+        for threads in [2, 4] {
+            let (imp, conv) = pagerank_with_stats(
+                &graph,
+                PowerOptions {
+                    threads,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(conv.iterations, base.iterations, "{name} at {threads}");
+            assert_eq!(conv.converged, base.converged, "{name} at {threads}");
+            assert_eq!(
+                conv.residual.to_bits(),
+                base.residual.to_bits(),
+                "{name}: residual diverged at {threads} threads"
+            );
+            let base_bits: Vec<u64> = base_imp.values().iter().map(|x| x.to_bits()).collect();
+            let bits: Vec<u64> = imp.values().iter().map(|x| x.to_bits()).collect();
+            assert_eq!(
+                bits, base_bits,
+                "{name}: iterate diverged at {threads} threads"
+            );
+        }
+    }
+}
