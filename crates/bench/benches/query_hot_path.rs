@@ -1,0 +1,184 @@
+//! Microbenchmarks for the query hot path's two data-structure bets:
+//!
+//! * **Oracle probes** — the flat generational [`ci_search::OracleCache`]
+//!   slab versus the `HashMap`-memo design it replaced. The replayed probe
+//!   sequence mimics branch-and-bound bound computation: a handful of
+//!   matcher rows probed against a sweep of candidate roots, with heavy
+//!   repetition (every candidate sharing a root repeats its matchers'
+//!   probes).
+//! * **Bound computation** — [`ci_search::upper_bound`] recomputing flows
+//!   from scratch versus [`ci_search::upper_bound_from`] reusing the
+//!   incrementally maintained [`ci_search::FlowState`] a candidate carries,
+//!   which is what the search loop actually does per admission.
+//!
+//! These use the `#[doc(hidden)]` hot-path re-exports from `ci-search`;
+//! they are not a stable API.
+
+// LINT-EXEMPT(tests): integration tests may unwrap/index freely; the
+// workspace lint wall applies to library code only (ISSUE 1).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing
+)]
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use ci_graph::{GraphBuilder, NodeId};
+use ci_index::{DistanceOracle, NoIndex};
+use ci_rwmp::{Dampening, Scorer};
+use ci_search::{
+    compute_flows, upper_bound, upper_bound_from, CachedOracle, Candidate, FlowState, OracleCache,
+    QuerySpec,
+};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+/// A synthetic oracle with a small arithmetic cost per probe — enough that
+/// a cache miss is distinguishable from a hit, cheap enough that the
+/// benchmark measures cache mechanics rather than oracle internals.
+struct ArithOracle;
+
+impl DistanceOracle for ArithOracle {
+    fn dist_lb(&self, u: NodeId, v: NodeId) -> u32 {
+        (u.0 ^ v.0).count_ones() % 5 + 1
+    }
+
+    fn retention_ub(&self, u: NodeId, v: NodeId) -> f64 {
+        1.0 / f64::from(u.0.wrapping_add(v.0) % 97 + 2)
+    }
+}
+
+/// The `HashMap` memo the flat cache replaced, reconstructed as the
+/// baseline arm: directionless key, interior mutability, one entry per
+/// distinct pair.
+struct HashMapCache<'a, O: DistanceOracle> {
+    inner: &'a O,
+    map: RefCell<HashMap<(u32, u32), (u32, f64)>>,
+}
+
+impl<'a, O: DistanceOracle> HashMapCache<'a, O> {
+    fn new(inner: &'a O) -> Self {
+        HashMapCache {
+            inner,
+            map: RefCell::new(HashMap::new()),
+        }
+    }
+
+    fn probe(&self, u: NodeId, v: NodeId) -> (u32, f64) {
+        let key = if u.0 <= v.0 { (u.0, v.0) } else { (v.0, u.0) };
+        *self
+            .map
+            .borrow_mut()
+            .entry(key)
+            .or_insert_with(|| self.inner.probe(u, v))
+    }
+}
+
+/// The probe sequence of one branch-and-bound run: `matchers` keyword
+/// nodes, `roots` candidate roots swept in admission order, `reps`
+/// re-probes per (matcher, root) pair (candidates sharing a root repeat
+/// their matchers' lookups).
+fn probe_sequence(matchers: u32, roots: u32, reps: usize) -> Vec<(NodeId, NodeId)> {
+    let mut seq = Vec::new();
+    for r in 0..roots {
+        for _ in 0..reps {
+            for m in 0..matchers {
+                seq.push((NodeId(m * 131), NodeId(1000 + r)));
+            }
+        }
+    }
+    seq
+}
+
+fn bench_oracle_probes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracle_probes");
+    group.sample_size(60);
+    let seq = probe_sequence(3, 400, 4);
+    let oracle = ArithOracle;
+
+    group.bench_function("flat_cache", |b| {
+        // One persistent store, like a query session: cleared per
+        // iteration so each sample replays the same cold-to-warm run.
+        let store = OracleCache::new();
+        b.iter(|| {
+            store.clear();
+            store.begin_query((0..3).map(|m| NodeId(m * 131)));
+            let cached = CachedOracle::with_store(&oracle, &store);
+            let mut acc = 0u64;
+            for &(u, v) in &seq {
+                let (d, r) = cached.probe(u, v);
+                acc = acc.wrapping_add(u64::from(d)).wrapping_add(r.to_bits());
+            }
+            black_box(acc)
+        })
+    });
+
+    group.bench_function("hashmap_cache", |b| {
+        b.iter(|| {
+            let cached = HashMapCache::new(&oracle);
+            let mut acc = 0u64;
+            for &(u, v) in &seq {
+                let (d, r) = cached.probe(u, v);
+                acc = acc.wrapping_add(u64::from(d)).wrapping_add(r.to_bits());
+            }
+            black_box(acc)
+        })
+    });
+
+    group.finish();
+}
+
+/// A path graph `v0 - v1 - ... - v(n-1)` with mildly varied weights.
+fn path_graph(n: u32) -> ci_graph::Graph {
+    let mut b = GraphBuilder::new();
+    let nodes: Vec<NodeId> = (0..n)
+        .map(|i| b.add_node(u16::try_from(i % 3).unwrap(), vec![]))
+        .collect();
+    for w in nodes.windows(2) {
+        b.add_pair(w[0], w[1], 0.9, 0.7);
+    }
+    b.build()
+}
+
+fn bench_bound_computation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bound_computation");
+    group.sample_size(200);
+
+    let graph = path_graph(8);
+    let p: Vec<f64> = (0..8).map(|i| 0.05 + 0.01 * f64::from(i)).collect();
+    let scorer = Scorer::new(&graph, &p, 0.05, Dampening::paper_default());
+    let query = QuerySpec::from_matches(
+        &scorer,
+        vec!["left".into(), "right".into()],
+        vec![(NodeId(0), 0b01, 2), (NodeId(7), 0b10, 2)],
+    );
+    let oracle = NoIndex;
+
+    // The candidate the search would hold mid-run: seeded at one matcher,
+    // grown along the path (each grow is one expansion step).
+    let mut cand = Candidate::seed(NodeId(0), 0b01);
+    for v in 1..=5u32 {
+        cand = cand.grow(NodeId(v), &query);
+    }
+    let mut flows = FlowState::default();
+    compute_flows(&scorer, &query, &cand, &mut flows);
+
+    group.bench_function("from_scratch", |b| {
+        b.iter(|| black_box(upper_bound(&scorer, &query, &oracle, &cand, true)))
+    });
+
+    group.bench_function("incremental_flows", |b| {
+        b.iter(|| {
+            black_box(upper_bound_from(
+                &scorer, &query, &oracle, &cand, &flows, true,
+            ))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_oracle_probes, bench_bound_computation);
+criterion_main!(benches);

@@ -77,8 +77,10 @@ fn json(stages: &[StageTiming], hardware_threads: usize) -> String {
             let comma = if j + 1 < stage.secs.len() { "," } else { "" };
             let _ = writeln!(
                 out,
-                "      \"threads_{threads}\": {{\"secs\": {secs:.6}, \"speedup\": {:.3}}}{comma}",
-                serial / secs.max(1e-12)
+                "      \"threads_{threads}\": {{\"secs\": {secs:.6}, \"speedup\": {:.3}, \
+                 \"oversubscribed\": {}}}{comma}",
+                serial / secs.max(1e-12),
+                threads > hardware_threads
             );
         }
         let comma = if i + 1 < stages.len() { "," } else { "" };
@@ -96,6 +98,13 @@ fn main() {
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
     eprintln!("bench_build: {hardware_threads} hardware thread(s), best of {REPS} reps");
+    for &t in THREAD_COUNTS.iter().filter(|&&t| t > hardware_threads) {
+        eprintln!(
+            "bench_build: warning: {t} worker threads on {hardware_threads} hardware \
+             thread(s) — those configurations are time-sliced, not parallel; their \
+             entries are flagged \"oversubscribed\" in the JSON"
+        );
+    }
 
     let data = dblp_data();
     let graph = build_graph(&data.db, &WeightConfig::dblp_default(), None);

@@ -1,8 +1,10 @@
+use std::cell::RefCell;
+
 use ci_index::{DistanceOracle, OracleVisitor};
 use ci_rwmp::Scorer;
 use ci_search::{
-    bnb_search, naive_search, Answer, CachedOracle, OracleCache, QueryBudget, QuerySpec,
-    SearchOptions, SearchStats,
+    bnb_search_in, naive_search, Answer, CachedOracle, OracleCache, QueryBudget, QuerySpec,
+    SearchOptions, SearchScratch, SearchStats,
 };
 
 use crate::snapshot::{EngineSnapshot, RankedAnswer};
@@ -39,6 +41,10 @@ pub struct QuerySession<'s> {
     snap: &'s EngineSnapshot,
     opts: SearchOptions,
     cache: OracleCache,
+    /// Branch-and-bound working memory, recycled across the session's
+    /// queries (candidate arena, heap, flow buffers — see
+    /// [`ci_search::SearchScratch`]).
+    scratch: RefCell<SearchScratch>,
 }
 
 impl<'s> QuerySession<'s> {
@@ -47,6 +53,7 @@ impl<'s> QuerySession<'s> {
             snap,
             opts: snap.config().search_options(),
             cache: OracleCache::new(),
+            scratch: RefCell::new(SearchScratch::new()),
         }
     }
 
@@ -78,6 +85,14 @@ impl<'s> QuerySession<'s> {
         &self.cache
     }
 
+    /// Diagnostics: candidate slots the session's search scratch has
+    /// constructed so far. Constant across repeated identical queries once
+    /// warm — the steady-state no-allocation property of the candidate
+    /// pool (asserted by the query hot-path tests).
+    pub fn scratch_slots_allocated(&self) -> usize {
+        self.scratch.borrow().slots_allocated()
+    }
+
     /// Branch-and-bound top-k under this session's options and budget,
     /// returning raw answers plus statistics.
     pub fn run_bnb(&self, spec: &QuerySpec) -> (Vec<Answer>, SearchStats) {
@@ -87,6 +102,7 @@ impl<'s> QuerySession<'s> {
             spec,
             opts: &self.opts,
             cache: &self.cache,
+            scratch: &self.scratch,
         })
     }
 
@@ -138,6 +154,7 @@ impl<'s> QuerySession<'s> {
             spec: &spec,
             opts: &opts,
             cache: &self.cache,
+            scratch: &self.scratch,
         });
         Ok(answers)
     }
@@ -151,13 +168,29 @@ struct BnbRun<'a> {
     spec: &'a QuerySpec,
     opts: &'a SearchOptions,
     cache: &'a OracleCache,
+    scratch: &'a RefCell<SearchScratch>,
 }
 
 impl OracleVisitor for BnbRun<'_> {
     type Output = (Vec<Answer>, SearchStats);
 
     fn visit<O: DistanceOracle>(self, oracle: &O) -> Self::Output {
+        // Shape the flat cache for this query: the slot budget comes from
+        // the session budget, and pre-assigning rows to the keyword-match
+        // nodes keeps the slab at (matchers × touched roots). Neither call
+        // invalidates probes memoized by earlier runs in this session.
+        self.cache
+            .set_entry_budget(self.opts.budget.max_cache_entries);
+        self.cache
+            .begin_query(self.spec.matchers_sorted().iter().copied());
+        let before = self.cache.stats();
         let cached = CachedOracle::with_store(oracle, self.cache);
-        bnb_search(self.scorer, self.spec, &cached, self.opts)
+        // Sessions are !Sync and never re-enter a search from inside a
+        // search, so the scratch borrow cannot conflict.
+        let mut scratch = self.scratch.borrow_mut();
+        let (answers, mut stats) =
+            bnb_search_in(self.scorer, self.spec, &cached, self.opts, &mut scratch);
+        stats.cache = Some(self.cache.stats().delta_since(&before));
+        (answers, stats)
     }
 }

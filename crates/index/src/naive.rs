@@ -132,6 +132,18 @@ impl DistanceOracle for NaiveIndex {
             None => self.d_max.powi(self.cap as i32 + 1),
         }
     }
+
+    /// Both bounds out of a single `DS`/`LS` row lookup — the memo layer's
+    /// miss path calls this, halving the hash-map traffic per probe.
+    fn probe(&self, u: NodeId, v: NodeId) -> (u32, f64) {
+        if u == v {
+            return (0, 1.0);
+        }
+        match self.entries.get(&(u.0, v.0)) {
+            Some(&(d, r)) => (d, r.min(self.damp.get(v.idx()).copied().unwrap_or(1.0))),
+            None => (self.cap + 1, self.d_max.powi(self.cap as i32 + 1)),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -16,6 +16,18 @@ pub trait DistanceOracle {
     /// (product of dampening rates along the best path, destination
     /// included). `1.0` means "no information".
     fn retention_ub(&self, u: NodeId, v: NodeId) -> f64;
+
+    /// Both bounds for one pair in a single call.
+    ///
+    /// The search's memo layer caches `(dist_lb, retention_ub)` together,
+    /// so a cache miss always wants both values; oracles whose two bounds
+    /// come out of one underlying lookup (e.g. the naive index's `DS`
+    /// row) override this to avoid doing that lookup twice. The default
+    /// simply delegates, so implementing the two primitive methods stays
+    /// sufficient.
+    fn probe(&self, u: NodeId, v: NodeId) -> (u32, f64) {
+        (self.dist_lb(u, v), self.retention_ub(u, v))
+    }
 }
 
 /// The trivial oracle: no pruning information at all. Searching with

@@ -1,16 +1,16 @@
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::time::Instant;
 
-use ci_graph::NodeId;
 use ci_index::DistanceOracle;
 use ci_rwmp::Scorer;
 
 use crate::answer::{score_answer, Answer, TopK};
-use crate::bounds::{distance_prune, upper_bound};
+use crate::bounds::{distance_prune, upper_bound_from};
 use crate::budget::TruncationReason;
 use crate::candidate::Candidate;
+use crate::flows::{compute_flows, grow_flows};
 use crate::query::QuerySpec;
+use crate::scratch::{CandSlot, SearchScratch};
 use crate::validity::{is_valid_answer, leaves_matchable};
 use crate::SearchOptions;
 
@@ -34,6 +34,11 @@ pub struct SearchStats {
     /// was exhausted and the top-k guarantee (Theorem 1) holds; any
     /// truncated run still returns only valid, exactly-scored answers.
     pub truncation: Option<TruncationReason>,
+    /// Oracle-cache counters for the run, when a memoizing session ran it
+    /// (`None` for a bare [`bnb_search`] over an unwrapped oracle). Purely
+    /// observational: identical searches produce identical counters, and
+    /// no cache configuration changes any other field or any answer.
+    pub cache: Option<crate::cache::CacheStats>,
 }
 
 impl SearchStats {
@@ -44,9 +49,10 @@ impl SearchStats {
     }
 }
 
-struct HeapItem {
-    ub: f64,
-    idx: usize,
+#[derive(Debug)]
+pub(crate) struct HeapItem {
+    pub(crate) ub: f64,
+    pub(crate) idx: usize,
 }
 
 impl PartialEq for HeapItem {
@@ -57,7 +63,10 @@ impl PartialEq for HeapItem {
 impl Eq for HeapItem {}
 impl Ord for HeapItem {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Max-heap on the upper bound.
+        // Max-heap on the upper bound; among equal bounds the *smallest*
+        // arena index wins, i.e. pops follow registration order. Arena
+        // indices grow monotonically within a run, so successive equal-`ub`
+        // pops always carry increasing indices — asserted in the pop loop.
         self.ub
             .total_cmp(&other.ub)
             .then_with(|| other.idx.cmp(&self.idx))
@@ -80,13 +89,13 @@ struct SearchRun<'a, O: DistanceOracle> {
     query: &'a QuerySpec,
     oracle: &'a O,
     opts: &'a SearchOptions,
-    arena: Vec<Candidate>,
-    queue: BinaryHeap<HeapItem>,
-    by_root: HashMap<NodeId, Vec<usize>>,
-    seen: HashSet<(NodeId, ci_rwmp::CanonicalKey)>,
+    scratch: &'a mut SearchScratch,
     topk: TopK,
     stats: SearchStats,
     deadline_ticks: u32,
+    /// `(ub, idx)` of the previous pop, for the pop-order assertion.
+    #[cfg(any(debug_assertions, feature = "strict-invariants"))]
+    last_pop: Option<(f64, usize)>,
 }
 
 /// Branch-and-bound top-k search (Algorithm 1 of the paper).
@@ -103,38 +112,77 @@ struct SearchRun<'a, O: DistanceOracle> {
 /// does **not** memoize oracle probes itself — wrap the oracle in
 /// [`crate::CachedOracle`] when probes are expensive (the engine's query
 /// session does this automatically, sharing one cache per session).
+///
+/// This wrapper allocates a fresh [`SearchScratch`] per call; repeated
+/// callers should hold one and use [`bnb_search_in`], which reuses all
+/// working memory (the engine's query session does).
 pub fn bnb_search<O: DistanceOracle>(
     scorer: &Scorer<'_>,
     query: &QuerySpec,
     oracle: &O,
     opts: &SearchOptions,
 ) -> (Vec<Answer>, SearchStats) {
+    let mut scratch = SearchScratch::new();
+    bnb_search_in(scorer, query, oracle, opts, &mut scratch)
+}
+
+/// [`bnb_search`] over caller-owned working memory. Results and statistics
+/// are bit-identical to a fresh-scratch run — the scratch only recycles
+/// buffers, never state: every per-run structure is (generationally)
+/// cleared by the run prologue.
+pub fn bnb_search_in<O: DistanceOracle>(
+    scorer: &Scorer<'_>,
+    query: &QuerySpec,
+    oracle: &O,
+    opts: &SearchOptions,
+    scratch: &mut SearchScratch,
+) -> (Vec<Answer>, SearchStats) {
+    scratch.begin();
     let mut run = SearchRun {
         scorer,
         query,
         oracle,
         opts,
-        arena: Vec::new(),
-        queue: BinaryHeap::new(),
-        by_root: HashMap::new(),
-        seen: HashSet::new(),
+        scratch,
         topk: TopK::new(opts.k),
         stats: SearchStats::default(),
         deadline_ticks: 0,
+        #[cfg(any(debug_assertions, feature = "strict-invariants"))]
+        last_pop: None,
     };
     if !query.answerable() {
         return (Vec::new(), run.stats);
     }
     // Seed in the spec's deterministic matcher order (not `matchers()`,
-    // whose hash-map iteration order varies per instance): registration
+    // whose iteration order is an implementation detail): registration
     // order is the heap's tie-break and the top-k's order among
     // equal-scored answers, so it must be reproducible run to run.
     for &node in query.matchers_sorted() {
         if let Some(m) = query.matcher(node) {
-            run.register(Candidate::seed(m.node, m.mask));
+            let mut slot = run.scratch.acquire();
+            slot.cand.set_seed(m.node, m.mask);
+            compute_flows(run.scorer, run.query, &slot.cand, &mut slot.flows);
+            run.register(slot);
         }
     }
-    while let Some(HeapItem { ub, idx }) = run.queue.pop() {
+    while let Some(HeapItem { ub, idx }) = run.scratch.queue.pop() {
+        // Documented heap order (see `HeapItem::cmp`): equal-bound pops
+        // follow candidate (arena) index order. Sound because anything
+        // pushed after a pop has a larger index than everything popped
+        // before it.
+        #[cfg(any(debug_assertions, feature = "strict-invariants"))]
+        {
+            if let Some((last_ub, last_idx)) = run.last_pop {
+                if ub.total_cmp(&last_ub).is_eq() {
+                    assert!(
+                        idx > last_idx,
+                        "equal-bound pops must follow candidate index order: \
+                         idx {idx} after {last_idx} at ub {ub}"
+                    );
+                }
+            }
+            run.last_pop = Some((ub, idx));
+        }
         if let Some(min) = run.topk.min_score() {
             if ub < min {
                 break; // Lines 9–11: nothing left can beat the top-k.
@@ -153,10 +201,24 @@ pub fn bnb_search<O: DistanceOracle>(
             break;
         }
         run.stats.pops += 1;
-        let Some(cur) = run.arena.get(idx).cloned() else {
+        // Copy into the pop buffer: the arena may grow (and reallocate)
+        // underneath while this candidate's expansions register.
+        let found = {
+            let SearchScratch {
+                arena, pop_slot, ..
+            } = &mut *run.scratch;
+            match arena.get(idx) {
+                Some(slot) => {
+                    pop_slot.assign_from(slot);
+                    true
+                }
+                None => false,
+            }
+        };
+        if !found {
             debug_assert!(false, "queue references a missing arena slot");
             continue;
-        };
+        }
         // Pop-order soundness (Theorem 1): a popped candidate that is
         // itself a complete valid answer must be dominated by the bound it
         // was enqueued with — otherwise the best-first stop rule
@@ -164,6 +226,7 @@ pub fn bnb_search<O: DistanceOracle>(
         // debug builds, and in release under `strict-invariants`.
         #[cfg(any(debug_assertions, feature = "strict-invariants"))]
         {
+            let cur = &run.scratch.pop_slot.cand;
             let tree = cur.to_jtt();
             if cur.mask == run.query.full_mask() && is_valid_answer(&tree, run.query) {
                 if let Some(score) = score_answer(run.scorer, run.query, &tree) {
@@ -174,14 +237,29 @@ pub fn bnb_search<O: DistanceOracle>(
                 }
             }
         }
-        let root = cur.root();
-        let neighbors: Vec<NodeId> = run.scorer.graph().neighbors(root).collect();
-        for vj in neighbors {
-            if cur.contains(vj) {
+        let root = run.scratch.pop_slot.cand.root();
+        run.scratch.neighbors.clear();
+        let graph = run.scorer.graph();
+        run.scratch.neighbors.extend(graph.neighbors(root));
+        for i in 0..run.scratch.neighbors.len() {
+            let Some(&vj) = run.scratch.neighbors.get(i) else {
+                break;
+            };
+            if run.scratch.pop_slot.cand.contains(vj) {
                 continue;
             }
-            let grown = cur.grow(vj, run.query);
-            run.register(grown);
+            let mut slot = run.scratch.acquire();
+            let pop = &run.scratch.pop_slot;
+            pop.cand.grow_into(vj, run.query, &mut slot.cand);
+            grow_flows(
+                run.scorer,
+                run.query,
+                &pop.cand,
+                &pop.flows,
+                &slot.cand,
+                &mut slot.flows,
+            );
+            run.register(slot);
         }
     }
     (run.topk.into_sorted(), run.stats)
@@ -213,94 +291,145 @@ impl<'a, O: DistanceOracle> SearchRun<'a, O> {
     /// the pop cap ever touches, so the expansion budget also bounds total
     /// registrations (at 10× the pop cap), and the candidate-memory budget
     /// bounds the live arena directly.
-    fn register(&mut self, cand: Candidate) {
+    fn register(&mut self, slot: CandSlot) {
         let registration_cap = self
             .opts
             .budget
             .max_expansions
             .map(|m| m.saturating_mul(10));
-        let mut worklist = vec![cand];
-        while let Some(c) = worklist.pop() {
+        self.scratch.worklist.push(slot);
+        while let Some(c) = self.scratch.worklist.pop() {
             if let Some(cap) = registration_cap {
                 if self.stats.registered >= cap {
                     self.stats.truncation = Some(TruncationReason::Expansions);
+                    self.recycle_worklist(c);
                     return;
                 }
             }
             if let Some(cap) = self.opts.budget.max_candidates {
-                if self.arena.len() >= cap {
+                if self.scratch.arena.len() >= cap {
                     self.stats.truncation = Some(TruncationReason::CandidateMemory);
+                    self.recycle_worklist(c);
                     return;
                 }
             }
             if self.deadline_hit() {
+                self.recycle_worklist(c);
                 return;
             }
-            if let Some(idx) = self.admit(&c) {
-                // Merge with every known candidate sharing the root.
-                let partners = self.by_root.get(&c.root()).cloned().unwrap_or_default();
-                for p in partners {
+            if let Some(idx) = self.admit(c) {
+                // Merge with every known candidate sharing the root, in
+                // admission order (the chain read reverses to oldest-first,
+                // matching the per-root Vec this index used to be).
+                let root = match self.scratch.arena.get(idx) {
+                    Some(s) => s.cand.root(),
+                    None => continue,
+                };
+                self.scratch.collect_partners(root);
+                for t in 0..self.scratch.partners.len() {
+                    let Some(&p32) = self.scratch.partners.get(t) else {
+                        break;
+                    };
+                    let p = p32 as usize;
                     if p == idx {
                         continue;
                     }
                     self.stats.merges += 1;
-                    let Some(partner) = self.arena.get(p) else {
-                        continue;
+                    let mut out = self.scratch.acquire();
+                    let merged = match (self.scratch.arena.get(idx), self.scratch.arena.get(p)) {
+                        (Some(a), Some(b)) => {
+                            self.merge_allowed(&a.cand, &b.cand)
+                                && a.cand.merge_into(&b.cand, &mut out.cand)
+                        }
+                        _ => false,
                     };
-                    if !self.merge_allowed(&c, partner) {
-                        continue;
-                    }
-                    if let Some(m) = c.merge(partner) {
-                        worklist.push(m);
+                    if merged {
+                        // Merged shapes recompute flows from scratch: the
+                        // subtree positions interleave, so no incremental
+                        // copy applies.
+                        compute_flows(self.scorer, self.query, &out.cand, &mut out.flows);
+                        self.scratch.worklist.push(out);
+                    } else {
+                        self.scratch.release(out);
                     }
                 }
             }
         }
     }
 
+    /// Returns the in-flight slot and any queued worklist slots to the
+    /// pool after a budget truncation (they will not be processed).
+    fn recycle_worklist(&mut self, current: CandSlot) {
+        self.scratch.release(current);
+        while let Some(s) = self.scratch.worklist.pop() {
+            self.scratch.release(s);
+        }
+    }
+
     /// Checks a candidate against all prunes; on success stores it, offers
     /// it to the top-k (if a valid complete answer), and returns its arena
-    /// index.
-    fn admit(&mut self, cand: &Candidate) -> Option<usize> {
-        if cand.diameter > self.opts.diameter || cand.size() > self.opts.max_tree_nodes {
+    /// index. Rejected slots return to the pool.
+    fn admit(&mut self, slot: CandSlot) -> Option<usize> {
+        if slot.cand.diameter > self.opts.diameter || slot.cand.size() > self.opts.max_tree_nodes {
+            self.scratch.release(slot);
             return None;
         }
         // Non-root leaves stay leaves: their keyword assignment must be
         // feasible in any extension.
-        let tree = cand.to_jtt();
-        if !leaves_matchable(&tree, self.query, &cand.frozen_leaves()) {
+        let tree = slot.cand.to_jtt();
+        {
+            let SearchScratch {
+                counts_buf,
+                leaves_buf,
+                ..
+            } = &mut *self.scratch;
+            slot.cand.frozen_leaves_into(counts_buf, leaves_buf);
+        }
+        if !leaves_matchable(&tree, self.query, &self.scratch.leaves_buf) {
+            self.scratch.release(slot);
             return None;
         }
-        if !self.seen.insert(cand.dedup_key()) {
+        // Dedup on (root, canonical key) — the same identity
+        // `Candidate::dedup_key` computes, reusing this admission's tree.
+        if !self
+            .scratch
+            .seen
+            .insert((slot.cand.root(), tree.canonical_key()))
+        {
+            self.scratch.release(slot);
             return None;
         }
-        if distance_prune(self.query, self.oracle, cand, self.opts.diameter) {
+        if distance_prune(self.query, self.oracle, &slot.cand, self.opts.diameter) {
             self.stats.distance_pruned += 1;
+            self.scratch.release(slot);
             return None;
         }
-        let ub = upper_bound(
+        let ub = upper_bound_from(
             self.scorer,
             self.query,
             self.oracle,
-            cand,
+            &slot.cand,
+            &slot.flows,
             self.opts.allow_redundant_matchers,
         );
         if let Some(min) = self.topk.min_score() {
             if ub < min {
                 self.stats.bound_pruned += 1;
+                self.scratch.release(slot);
                 return None;
             }
         }
-        if cand.mask == self.query.full_mask() && is_valid_answer(&tree, self.query) {
+        if slot.cand.mask == self.query.full_mask() && is_valid_answer(&tree, self.query) {
             if let Some(score) = score_answer(self.scorer, self.query, &tree) {
                 self.topk.offer(Answer { tree, score });
             }
         }
-        let idx = self.arena.len();
-        self.arena.push(cand.clone());
-        self.stats.candidates_peak = self.stats.candidates_peak.max(self.arena.len());
-        self.by_root.entry(cand.root()).or_default().push(idx);
-        self.queue.push(HeapItem { ub, idx });
+        let idx = self.scratch.arena.len();
+        let root = slot.cand.root();
+        self.scratch.arena.push(slot);
+        self.stats.candidates_peak = self.stats.candidates_peak.max(self.scratch.arena.len());
+        self.scratch.push_root_chain(root, idx);
+        self.scratch.queue.push(HeapItem { ub, idx });
         self.stats.registered += 1;
         Some(idx)
     }
@@ -322,7 +451,7 @@ mod tests {
     use super::*;
     use crate::budget::QueryBudget;
     use crate::query::QuerySpec;
-    use ci_graph::GraphBuilder;
+    use ci_graph::{GraphBuilder, NodeId};
     use ci_index::NoIndex;
     use ci_rwmp::Dampening;
     use std::time::Duration;

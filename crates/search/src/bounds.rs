@@ -24,16 +24,18 @@ use ci_index::DistanceOracle;
 use ci_rwmp::Scorer;
 
 use crate::candidate::Candidate;
+use crate::flows::{compute_flows, FlowState};
 use crate::query::QuerySpec;
 
-/// Computes `ub(C)`. `allow_redundant` mirrors
+/// Computes `ub(C)` from scratch. `allow_redundant` mirrors
 /// [`crate::SearchOptions::allow_redundant_matchers`]: when off, a complete
 /// candidate cannot be usefully extended and its bound is its exact score.
 ///
-/// Generic over the oracle (statically dispatched): the `retention_ub`
-/// probes sit on the hottest loop of Algorithm 1 and inline per oracle
-/// type. `?Sized` keeps `&dyn DistanceOracle` callers compiling where
-/// static types are unavailable.
+/// This is the one-shot convenience wrapper: it derives the candidate's
+/// [`FlowState`] and delegates to [`upper_bound_from`], which is what the
+/// branch-and-bound loop calls with incrementally maintained flows. Both
+/// produce bit-identical values — the flow state is bit-identical to
+/// [`Scorer::flows_from`] by construction (see `flows.rs`).
 pub fn upper_bound<O: DistanceOracle + ?Sized>(
     scorer: &Scorer<'_>,
     query: &QuerySpec,
@@ -41,47 +43,68 @@ pub fn upper_bound<O: DistanceOracle + ?Sized>(
     cand: &Candidate,
     allow_redundant: bool,
 ) -> f64 {
-    let tree = cand.to_jtt();
+    let mut flows = FlowState::default();
+    compute_flows(scorer, query, cand, &mut flows);
+    let ub = upper_bound_from(scorer, query, oracle, cand, &flows, allow_redundant);
+    // Admissibility (Lemma 1) is asserted inside `upper_bound_from`; the
+    // wrapper only re-checks the cheap numeric sanity half.
+    debug_assert!(!ub.is_nan(), "admissibility: ub(C) must be a number");
+    ub
+}
+
+/// Computes `ub(C)` from a precomputed [`FlowState`] — the hot-path entry
+/// point of Algorithm 1. Allocation-free: it iterates the flow matrix and
+/// the query's dense matcher table directly instead of materializing
+/// per-source vectors.
+///
+/// Generic over the oracle (statically dispatched): the `retention_ub`
+/// probes sit on the hottest loop of Algorithm 1 and inline per oracle
+/// type. `?Sized` keeps `&dyn DistanceOracle` callers compiling where
+/// static types are unavailable.
+pub fn upper_bound_from<O: DistanceOracle + ?Sized>(
+    scorer: &Scorer<'_>,
+    query: &QuerySpec,
+    oracle: &O,
+    cand: &Candidate,
+    flows: &FlowState,
+    allow_redundant: bool,
+) -> f64 {
     let root = cand.root();
-    // Matcher positions and infos.
-    let sources: Vec<(usize, &crate::query::MatcherInfo)> = cand
-        .nodes
-        .iter()
-        .enumerate()
-        .filter_map(|(pos, &v)| query.matcher(v).map(|m| (pos, m)))
-        .collect();
+    let sources = flows.sources();
     assert!(
         !sources.is_empty(),
         "candidates contain at least one matcher"
     );
 
-    let flows: Vec<Vec<f64>> = sources
-        .iter()
-        .map(|&(pos, m)| scorer.flows_from(&tree, pos, m.gen))
-        .collect();
-
     // Tightest bound over sources of the missing keywords.
     let full = query.full_mask();
-    let missing: Vec<usize> = (0..query.keyword_count())
-        .filter(|&k| cand.mask & (1 << k) == 0)
-        .collect();
-    let min_missing = missing
-        .iter()
-        .map(|&k| best_damped_gen(query, oracle, query.matchers_of(k), root, None))
-        .fold(f64::INFINITY, f64::min);
+    let mut min_missing = f64::INFINITY;
+    for k in 0..query.keyword_count() {
+        if cand.mask & (1 << k) != 0 {
+            continue;
+        }
+        let b = best_damped_gen(query, oracle, query.matchers_of(k), root, None);
+        min_missing = min_missing.min(b);
+    }
 
     let complete = cand.mask == full;
 
     // ce: mean over existing matchers of their per-node score bound.
     let mut ce_sum = 0.0;
-    for (i, &(pos_i, m_i)) in sources.iter().enumerate() {
-        let internal_min = flows
-            .iter()
-            .enumerate()
-            .filter(|&(j, _)| j != i)
-            // A missing flow entry must not lower the bound: stay infinite.
-            .map(|(_, f)| f.get(pos_i).copied().unwrap_or(f64::INFINITY))
-            .fold(f64::INFINITY, f64::min);
+    for (i, &pos_i32) in sources.iter().enumerate() {
+        let pos_i = pos_i32 as usize;
+        let Some(m_i) = cand.nodes.get(pos_i).and_then(|&v| query.matcher(v)) else {
+            debug_assert!(false, "flow sources are always matchers");
+            continue;
+        };
+        let mut internal_min = f64::INFINITY;
+        for j in 0..sources.len() {
+            if j != i {
+                // A missing flow entry must not lower the bound: the
+                // accessor returns +∞ out of range.
+                internal_min = internal_min.min(flows.value(j, pos_i));
+            }
+        }
         let mut bound = internal_min.min(min_missing);
         if bound.is_infinite() {
             // Single matcher covering every keyword: the answer may be the
@@ -107,24 +130,21 @@ pub fn upper_bound<O: DistanceOracle + ?Sized>(
         // pe: messages of each existing type available beyond the root. An
         // added node sits at least one hop past the root, so it retains at
         // most the global maximum dampening rate of that flow.
-        let pe = sources
-            .iter()
-            .enumerate()
-            .map(|(j, &(pos_j, m_j))| {
-                if pos_j == 0 {
-                    m_j.gen
-                } else {
-                    // A missing flow entry must not lower the bound.
-                    flows
-                        .get(j)
-                        .and_then(|f| f.first())
-                        .copied()
-                        .unwrap_or(f64::INFINITY)
-                }
-            })
-            .fold(f64::INFINITY, f64::min)
-            * scorer.max_dampening();
-        ce.max(pe)
+        let mut pe = f64::INFINITY;
+        for (j, &pos_j32) in sources.iter().enumerate() {
+            let pos_j = pos_j32 as usize;
+            let at_root = if pos_j == 0 {
+                cand.nodes
+                    .get(pos_j)
+                    .and_then(|&v| query.matcher(v))
+                    .map_or(f64::INFINITY, |m| m.gen)
+            } else {
+                // A missing flow entry must not lower the bound.
+                flows.value(j, 0)
+            };
+            pe = pe.min(at_root);
+        }
+        ce.max(pe * scorer.max_dampening())
     };
 
     // Admissibility (Lemma 1): the bound must dominate the score of every
@@ -133,6 +153,7 @@ pub fn upper_bound<O: DistanceOracle + ?Sized>(
     debug_assert!(!ub.is_nan(), "admissibility: ub(C) must be a number");
     #[cfg(any(debug_assertions, feature = "strict-invariants"))]
     if complete {
+        let tree = cand.to_jtt();
         if let Some(score) = crate::answer::score_answer(scorer, query, &tree) {
             assert!(
                 ub >= score - 1e-9,

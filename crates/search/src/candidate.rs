@@ -52,60 +52,108 @@ impl Candidate {
         self.nodes.contains(&node)
     }
 
+    /// An empty candidate shell — only useful as the target of
+    /// [`Candidate::set_seed`] / [`Candidate::grow_into`] /
+    /// [`Candidate::merge_into`]. The search scratch pool holds these so
+    /// candidate construction in the inner loop reuses their buffers.
+    pub fn empty() -> Candidate {
+        Candidate {
+            nodes: Vec::new(),
+            parent: Vec::new(),
+            mask: 0,
+            depth: 0,
+            diameter: 0,
+        }
+    }
+
+    /// Overwrites `self` with a seed candidate, reusing the buffers.
+    pub fn set_seed(&mut self, node: NodeId, mask: u32) {
+        debug_assert!(mask != 0, "seed candidates are matcher nodes");
+        self.nodes.clear();
+        self.nodes.push(node);
+        self.parent.clear();
+        self.parent.push(0);
+        self.mask = mask;
+        self.depth = 0;
+        self.diameter = 0;
+    }
+
+    /// Overwrites `self` with a copy of `src`, reusing the buffers.
+    pub fn assign_from(&mut self, src: &Candidate) {
+        self.nodes.clear();
+        self.nodes.extend_from_slice(&src.nodes);
+        self.parent.clear();
+        self.parent.extend_from_slice(&src.parent);
+        self.mask = src.mask;
+        self.depth = src.depth;
+        self.diameter = src.diameter;
+    }
+
     /// *Tree grow*: a new root `new_root` (a graph neighbor of the current
     /// root, not already contained) adopts this candidate as its single
     /// child subtree.
     pub fn grow(&self, new_root: NodeId, query: &QuerySpec) -> Candidate {
+        let mut out = Candidate::empty();
+        self.grow_into(new_root, query, &mut out);
+        out
+    }
+
+    /// [`Candidate::grow`] into a reused buffer (no allocation once the
+    /// target's buffers have grown to size).
+    pub fn grow_into(&self, new_root: NodeId, query: &QuerySpec, out: &mut Candidate) {
         debug_assert!(!self.contains(new_root), "grow target already in tree");
-        let mut nodes = Vec::with_capacity(self.nodes.len() + 1);
-        nodes.push(new_root);
-        nodes.extend_from_slice(&self.nodes);
-        let mut parent = Vec::with_capacity(self.parent.len() + 1);
-        parent.push(0);
+        out.nodes.clear();
+        out.nodes.push(new_root);
+        out.nodes.extend_from_slice(&self.nodes);
+        out.parent.clear();
+        out.parent.push(0);
         // Old position i → new position i + 1; old root's parent is the new
         // root (position 0).
-        parent.push(0);
+        out.parent.push(0);
         for &p in self.parent.get(1..).unwrap_or(&[]) {
-            parent.push(p + 1);
+            out.parent.push(p + 1);
         }
-        Candidate {
-            nodes,
-            parent,
-            mask: self.mask | query.mask_of(new_root),
-            depth: self.depth + 1,
-            diameter: self.diameter.max(self.depth + 1),
-        }
+        out.mask = self.mask | query.mask_of(new_root);
+        out.depth = self.depth + 1;
+        out.diameter = self.diameter.max(self.depth + 1);
     }
 
     /// *Tree merge*: combines two candidates sharing the same root. Returns
     /// `None` when their non-root node sets intersect (the paper's sanity
     /// check against cycles).
     pub fn merge(&self, other: &Candidate) -> Option<Candidate> {
+        let mut out = Candidate::empty();
+        self.merge_into(other, &mut out).then_some(out)
+    }
+
+    /// [`Candidate::merge`] into a reused buffer; returns `false` (leaving
+    /// `out` unspecified) when the non-root node sets intersect.
+    pub fn merge_into(&self, other: &Candidate, out: &mut Candidate) -> bool {
         debug_assert_eq!(self.root(), other.root(), "merge requires equal roots");
         for v in other.nodes.get(1..).unwrap_or(&[]) {
             if self.nodes.contains(v) {
-                return None;
+                return false;
             }
         }
-        let mut nodes = self.nodes.clone();
-        nodes.extend_from_slice(other.nodes.get(1..).unwrap_or(&[]));
-        let mut parent = self.parent.clone();
+        out.nodes.clear();
+        out.nodes.extend_from_slice(&self.nodes);
+        out.nodes
+            .extend_from_slice(other.nodes.get(1..).unwrap_or(&[]));
+        out.parent.clear();
+        out.parent.extend_from_slice(&self.parent);
         let offset = u32::try_from(self.nodes.len())
             .unwrap_or(u32::MAX)
             .saturating_sub(1);
         for &p in other.parent.get(1..).unwrap_or(&[]) {
-            parent.push(if p == 0 { 0 } else { p + offset });
+            out.parent.push(if p == 0 { 0 } else { p + offset });
         }
-        Some(Candidate {
-            nodes,
-            parent,
-            mask: self.mask | other.mask,
-            depth: self.depth.max(other.depth),
-            diameter: self
-                .diameter
-                .max(other.diameter)
-                .max(self.depth + other.depth),
-        })
+        out.mask = self.mask | other.mask;
+        out.depth = self.depth.max(other.depth);
+        out.diameter = self
+            .diameter
+            .max(other.diameter)
+            .max(self.depth + other.depth);
+        true
     }
 
     /// Children count per position.
@@ -121,13 +169,31 @@ impl Candidate {
 
     /// Non-root leaf positions (these stay leaves in every extension).
     pub fn frozen_leaves(&self) -> Vec<usize> {
-        self.child_counts()
-            .iter()
-            .enumerate()
-            .skip(1)
-            .filter(|(_, &c)| c == 0)
-            .map(|(i, _)| i)
-            .collect()
+        let mut counts = Vec::new();
+        let mut out = Vec::new();
+        self.frozen_leaves_into(&mut counts, &mut out);
+        out
+    }
+
+    /// [`Candidate::frozen_leaves`] into reused buffers (`counts` is the
+    /// child-count scratch, `out` receives the leaf positions).
+    pub fn frozen_leaves_into(&self, counts: &mut Vec<u32>, out: &mut Vec<usize>) {
+        counts.clear();
+        counts.resize(self.nodes.len(), 0);
+        for &p in self.parent.iter().skip(1) {
+            if let Some(slot) = counts.get_mut(p as usize) {
+                *slot += 1;
+            }
+        }
+        out.clear();
+        out.extend(
+            counts
+                .iter()
+                .enumerate()
+                .skip(1)
+                .filter(|(_, &c)| c == 0)
+                .map(|(i, _)| i),
+        );
     }
 
     /// Converts to an (unrooted) [`Jtt`].

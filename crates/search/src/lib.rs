@@ -80,17 +80,29 @@ mod bounds;
 mod budget;
 mod cache;
 mod candidate;
+mod flows;
 mod naive;
 mod query;
+mod scratch;
 mod validity;
 
 pub use answer::{score_answer, Answer, TopK};
-pub use bnb::{bnb_search, SearchStats};
+pub use bnb::{bnb_search, bnb_search_in, SearchStats};
 pub use budget::{QueryBudget, TruncationReason};
-pub use cache::{CachedOracle, OracleCache};
+pub use cache::{CacheStats, CachedOracle, OracleCache};
 pub use naive::naive_search;
 pub use query::{MatcherInfo, QuerySpec, MAX_KEYWORDS};
+pub use scratch::SearchScratch;
 pub use validity::is_valid_answer;
+
+// Hot-path internals re-exported for the workspace microbenchmarks
+// (`crates/bench/benches/query_hot_path.rs`). Not a stable API.
+#[doc(hidden)]
+pub use bounds::{upper_bound, upper_bound_from};
+#[doc(hidden)]
+pub use candidate::Candidate;
+#[doc(hidden)]
+pub use flows::{compute_flows, grow_flows, FlowState};
 
 /// Tuning knobs shared by both search algorithms.
 #[derive(Debug, Clone)]

@@ -1,0 +1,243 @@
+//! Reusable branch-and-bound working memory.
+//!
+//! Every structure the search loop touches per candidate lives here and is
+//! recycled across runs: the candidate arena, the priority queue, the
+//! dedup set, the per-root partner chains, and a freelist ("pool") of
+//! candidate slots. [`crate::bnb_search_in`] takes a `&mut SearchScratch`;
+//! the engine's query session owns one per session, so repeated queries
+//! reach a steady state where candidate construction (grow/merge/seed)
+//! performs **no heap allocation at all** — slots come from the pool and
+//! their `Vec` buffers retain capacity. [`SearchScratch::slots_allocated`]
+//! counts slot constructions so tests can assert that steady state.
+//!
+//! The per-root partner index is an intrusive linked list over arena
+//! indices (`root_head[node] → next_same_root[idx] → …`), dense by node
+//! id with a run-generation stamp instead of per-run clearing — the same
+//! design as the flat oracle cache, and for the same reason: no hashing
+//! and no `HashMap` churn in the inner loop. Chains are built newest-first
+//! and reversed into a buffer on read, preserving the admission-order
+//! iteration the previous `HashMap<NodeId, Vec<usize>>` provided (the
+//! merge order is observable through `SearchStats::merges` and the
+//! replay fingerprints, so it must not change).
+
+use std::collections::{BinaryHeap, HashSet};
+
+use ci_graph::NodeId;
+
+use crate::bnb::HeapItem;
+use crate::candidate::Candidate;
+use crate::flows::FlowState;
+
+/// Sentinel for "no arena index" in the root chains.
+pub(crate) const NO_IDX: u32 = u32::MAX;
+
+/// A pooled candidate plus its incrementally maintained flow state.
+#[derive(Debug)]
+pub(crate) struct CandSlot {
+    pub(crate) cand: Candidate,
+    pub(crate) flows: FlowState,
+}
+
+impl Default for CandSlot {
+    fn default() -> CandSlot {
+        CandSlot::new()
+    }
+}
+
+impl CandSlot {
+    fn new() -> CandSlot {
+        CandSlot {
+            cand: Candidate::empty(),
+            flows: FlowState::default(),
+        }
+    }
+
+    /// Buffer-reusing copy of another slot's contents.
+    pub(crate) fn assign_from(&mut self, src: &CandSlot) {
+        self.cand.assign_from(&src.cand);
+        self.flows.assign_from(&src.flows);
+    }
+}
+
+/// Reusable working memory for [`crate::bnb_search_in`]. One per query
+/// session (sessions are single-threaded); `Default`/`new` give an empty
+/// scratch that warms up over the first queries.
+#[derive(Debug, Default)]
+pub struct SearchScratch {
+    /// Freelist of candidate slots (buffers keep their capacity).
+    pool: Vec<CandSlot>,
+    /// Total slots ever constructed — stable once the pool covers the
+    /// working set (the steady-state no-allocation property).
+    allocated: usize,
+    /// Live candidates of the current run, append-only within a run.
+    pub(crate) arena: Vec<CandSlot>,
+    /// Max-heap over `(ub, arena idx)`.
+    pub(crate) queue: BinaryHeap<HeapItem>,
+    /// Dedup set over `(root, canonical tree key)`.
+    pub(crate) seen: HashSet<(NodeId, ci_rwmp::CanonicalKey)>,
+    /// Newest arena index rooted at a node, dense by node id.
+    root_head: Vec<u32>,
+    /// Run stamp per `root_head` entry (stale stamp ⇒ empty chain).
+    root_gen: Vec<u64>,
+    /// Current run stamp (bumped by [`SearchScratch::begin`]).
+    run_gen: u64,
+    /// Per-arena-index link to the next-older candidate with the same root.
+    next_same_root: Vec<u32>,
+    /// Registration cascade worklist.
+    pub(crate) worklist: Vec<CandSlot>,
+    /// Partner-index read buffer (admission order).
+    pub(crate) partners: Vec<u32>,
+    /// Root-neighbor read buffer for the expansion loop.
+    pub(crate) neighbors: Vec<NodeId>,
+    /// Copy of the currently popped candidate (the arena may grow — and
+    /// reallocate — underneath while its expansions register).
+    pub(crate) pop_slot: CandSlot,
+    /// Child-count scratch for `frozen_leaves_into`.
+    pub(crate) counts_buf: Vec<u32>,
+    /// Frozen-leaf position scratch.
+    pub(crate) leaves_buf: Vec<usize>,
+}
+
+impl SearchScratch {
+    pub fn new() -> SearchScratch {
+        SearchScratch::default()
+    }
+
+    /// Number of candidate slots constructed over the scratch's lifetime.
+    /// Once warm, repeated identical searches leave this constant — the
+    /// allocation-free steady state the pool exists for.
+    pub fn slots_allocated(&self) -> usize {
+        self.allocated
+    }
+
+    /// Prepares for a new run: recycles all live slots into the pool and
+    /// empties every per-run structure, keeping allocations.
+    pub(crate) fn begin(&mut self) {
+        self.run_gen = self.run_gen.wrapping_add(1);
+        if self.run_gen == 0 {
+            // u64 wrap is unreachable in practice; stay correct anyway.
+            self.root_gen.fill(0);
+            self.run_gen = 1;
+        }
+        self.pool.append(&mut self.arena);
+        self.pool.append(&mut self.worklist);
+        self.queue.clear();
+        self.seen.clear();
+        self.next_same_root.clear();
+        self.partners.clear();
+        self.neighbors.clear();
+    }
+
+    /// Takes a slot from the pool, constructing one only when empty.
+    pub(crate) fn acquire(&mut self) -> CandSlot {
+        self.pool.pop().unwrap_or_else(|| {
+            self.allocated += 1;
+            CandSlot::new()
+        })
+    }
+
+    /// Returns a slot to the pool.
+    pub(crate) fn release(&mut self, slot: CandSlot) {
+        self.pool.push(slot);
+    }
+
+    /// Head of the root chain for `node` in the current run.
+    fn root_chain_head(&self, node: NodeId) -> Option<u32> {
+        let id = usize::try_from(node.0).ok()?;
+        if self.root_gen.get(id).copied() != Some(self.run_gen) {
+            return None;
+        }
+        self.root_head.get(id).copied().filter(|&h| h != NO_IDX)
+    }
+
+    /// Links freshly admitted arena index `idx` (the current `arena.len() -
+    /// 1`) into its root's chain. Must be called exactly once per arena
+    /// push, in order.
+    pub(crate) fn push_root_chain(&mut self, node: NodeId, idx: usize) {
+        debug_assert_eq!(self.next_same_root.len(), idx, "one link per arena push");
+        let idx32 = u32::try_from(idx).unwrap_or(NO_IDX);
+        debug_assert!(idx32 != NO_IDX, "arena index fits in u32");
+        let Ok(id) = usize::try_from(node.0) else {
+            self.next_same_root.push(NO_IDX);
+            return;
+        };
+        if self.root_head.len() <= id {
+            self.root_head.resize(id + 1, NO_IDX);
+            self.root_gen.resize(id + 1, 0);
+        }
+        let prev = if self.root_gen.get(id).copied() == Some(self.run_gen) {
+            self.root_head.get(id).copied().unwrap_or(NO_IDX)
+        } else {
+            NO_IDX
+        };
+        self.next_same_root.push(prev);
+        if let Some(h) = self.root_head.get_mut(id) {
+            *h = idx32;
+        }
+        if let Some(g) = self.root_gen.get_mut(id) {
+            *g = self.run_gen;
+        }
+    }
+
+    /// Fills [`SearchScratch::partners`] with every arena index rooted at
+    /// `node`, oldest (lowest index) first — admission order, matching the
+    /// `Vec` the per-root `HashMap` used to hold.
+    pub(crate) fn collect_partners(&mut self, node: NodeId) {
+        self.partners.clear();
+        let mut cur = self.root_chain_head(node);
+        while let Some(i) = cur {
+            self.partners.push(i);
+            cur = self
+                .next_same_root
+                .get(i as usize)
+                .copied()
+                .filter(|&nxt| nxt != NO_IDX);
+        }
+        self.partners.reverse();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_reuses_slots_across_runs() {
+        let mut s = SearchScratch::new();
+        s.begin();
+        let a = s.acquire();
+        let b = s.acquire();
+        assert_eq!(s.slots_allocated(), 2);
+        s.arena.push(a);
+        s.worklist.push(b);
+        s.begin(); // recycles both
+        let _a = s.acquire();
+        let _b = s.acquire();
+        assert_eq!(s.slots_allocated(), 2, "no new slots in steady state");
+        let _c = s.acquire();
+        assert_eq!(s.slots_allocated(), 3);
+    }
+
+    #[test]
+    fn root_chains_iterate_in_admission_order_and_reset_per_run() {
+        let mut s = SearchScratch::new();
+        s.begin();
+        s.push_root_chain(NodeId(7), 0);
+        s.push_root_chain(NodeId(3), 1);
+        s.push_root_chain(NodeId(7), 2);
+        s.push_root_chain(NodeId(7), 3);
+        s.collect_partners(NodeId(7));
+        assert_eq!(s.partners, vec![0, 2, 3], "oldest first");
+        s.collect_partners(NodeId(3));
+        assert_eq!(s.partners, vec![1]);
+        s.collect_partners(NodeId(99));
+        assert!(s.partners.is_empty());
+        // A new run sees empty chains without any clearing pass.
+        s.begin();
+        s.collect_partners(NodeId(7));
+        assert!(s.partners.is_empty());
+        s.push_root_chain(NodeId(7), 0);
+        s.collect_partners(NodeId(7));
+        assert_eq!(s.partners, vec![0]);
+    }
+}

@@ -32,6 +32,18 @@
 //!    a detached spawn would force `'static` bounds (cloning the graph) or
 //!    leak a running worker past an early error return. Tests may still
 //!    spawn freely (e.g. the concurrent-serving harness).
+//! 6. **No hashed containers in the branch-and-bound inner loop** — the
+//!    files the per-candidate hot path runs through
+//!    (`crates/search/src/{bnb,bounds,cache,candidate,scratch,flows}.rs`)
+//!    must not mention `HashMap` or `BTreeMap` outside their test modules.
+//!    The query-hot-path overhaul replaced every per-candidate map with
+//!    flat generational structures (the oracle-cache slab, the intrusive
+//!    root chains); a map slipping back in would silently reintroduce
+//!    hashing or pointer-chasing per candidate. `HashSet` dedup at
+//!    admission (once per candidate, not per probe) remains legal, as
+//!    does `query.rs`'s per-query matcher map (built once per query,
+//!    outside the loop). A `LINT-EXEMPT(reason)` comment within 8 lines
+//!    above the use exempts audited cases.
 //!
 //! The checker is deliberately textual (the offline build environment has
 //! no `syn`); the heuristics below are documented inline and tuned to this
@@ -95,6 +107,7 @@ fn lint() -> ExitCode {
         check_no_detached_threads(&src, &mut findings);
     }
     check_no_dyn_oracle(&root, &mut findings);
+    check_no_inner_loop_maps(&root, &mut findings);
 
     if findings.is_empty() {
         println!("xtask lint: ok");
@@ -347,6 +360,66 @@ fn check_no_dyn_oracle(root: &Path, findings: &mut Vec<String>) {
     }
 }
 
+/// Rule 6: no `HashMap`/`BTreeMap` in the branch-and-bound inner-loop
+/// files. The hot-path overhaul replaced per-candidate maps with flat
+/// generational structures (oracle-cache slab, intrusive root chains,
+/// pooled arena); this keeps them from regressing. Tests may still use
+/// maps, and an audited use can be tagged `LINT-EXEMPT(reason)`.
+fn check_no_inner_loop_maps(root: &Path, findings: &mut Vec<String>) {
+    const INNER_LOOP_FILES: &[&str] = &[
+        "crates/search/src/bnb.rs",
+        "crates/search/src/bounds.rs",
+        "crates/search/src/cache.rs",
+        "crates/search/src/candidate.rs",
+        "crates/search/src/scratch.rs",
+        "crates/search/src/flows.rs",
+    ];
+    for rel in INNER_LOOP_FILES {
+        let path = root.join(rel);
+        let Ok(src) = fs::read_to_string(&path) else {
+            findings.push(format!("{}: cannot read file", path.display()));
+            continue;
+        };
+        for n in inner_loop_map_hits(&src) {
+            findings.push(format!(
+                "{}:{}: hashed/ordered map in a branch-and-bound inner-loop \
+                 file — use the flat generational structures (oracle-cache \
+                 slab, root chains, arena) or tag an audited exemption with \
+                 LINT-EXEMPT(reason)",
+                path.display(),
+                n
+            ));
+        }
+    }
+}
+
+/// 1-based line numbers in the non-test region of `src` that mention
+/// `HashMap` or `BTreeMap` outside comments, string literals, and
+/// `LINT-EXEMPT` coverage.
+fn inner_loop_map_hits(src: &str) -> Vec<usize> {
+    let lines: Vec<&str> = non_test_region(src).collect();
+    let mut hits = Vec::new();
+    for (n, line) in lines.iter().enumerate() {
+        if line.trim_start().starts_with("//") {
+            continue;
+        }
+        let code = strip_strings(line);
+        if !code.contains("HashMap") && !code.contains("BTreeMap") {
+            continue;
+        }
+        let start = n.saturating_sub(EXEMPT_WINDOW);
+        let covered = lines
+            .get(start..n)
+            .unwrap_or(&[])
+            .iter()
+            .any(|l| l.contains("LINT-EXEMPT("));
+        if !covered {
+            hits.push(n + 1);
+        }
+    }
+    hits
+}
+
 /// 1-based line numbers in the non-test region of `src` that mention
 /// `dyn DistanceOracle` outside comments and string literals.
 fn dyn_oracle_hits(src: &str) -> Vec<usize> {
@@ -498,6 +571,23 @@ mod tests {
         let exempted = "// LINT-EXEMPT(demo): must detach\n\
                         std::thread::spawn(|| {});\n";
         assert!(detached_spawn_hits(exempted).is_empty());
+    }
+
+    #[test]
+    fn inner_loop_maps_flagged_outside_tests_only() {
+        let bad = "use std::collections::HashMap;\n";
+        assert_eq!(inner_loop_map_hits(bad), vec![1]);
+        let btree = "let m: BTreeMap<u32, u32> = BTreeMap::new();\n";
+        assert_eq!(inner_loop_map_hits(btree), vec![1]);
+        let in_tests = "use std::collections::HashSet;\n\
+                        #[cfg(test)]\n\
+                        mod tests {\n    use std::collections::HashMap;\n}\n";
+        assert!(inner_loop_map_hits(in_tests).is_empty());
+        let in_comment = "// the HashMap this slab replaced\n";
+        assert!(inner_loop_map_hits(in_comment).is_empty());
+        let exempted = "// LINT-EXEMPT(demo): audited cold-path map\n\
+                        use std::collections::HashMap;\n";
+        assert!(inner_loop_map_hits(exempted).is_empty());
     }
 
     #[test]

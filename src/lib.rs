@@ -18,6 +18,8 @@
     )
 )]
 
+pub mod fingerprint;
+
 pub use ci_baselines as baselines;
 pub use ci_datagen as datagen;
 pub use ci_eval as eval;

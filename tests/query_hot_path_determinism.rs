@@ -1,0 +1,89 @@
+//! Replay-fingerprint contract of the query hot path.
+//!
+//! The pinned constants below were captured with
+//! `cargo run --release --example query_fingerprint` *before* the hot-path
+//! optimizations landed (flat generational oracle cache, pooled candidate
+//! arena, incremental flow/bound maintenance). Every configuration this
+//! file replays must reproduce them exactly:
+//!
+//! * engines built at 1, 2, and 8 worker threads (the offline build is
+//!   bit-deterministic, so the query layer sees identical inputs);
+//! * a fresh `QuerySession` per query (the semantics the constants were
+//!   captured under) and one session reused across the whole workload
+//!   (warm oracle cache + warm candidate pool — both must be observably
+//!   transparent).
+//!
+//! A warm reused session must also reach an allocation steady state: a
+//! second replay of the same workload may not construct a single new
+//! candidate slot ([`ci_rank::QuerySession::scratch_slots_allocated`]).
+
+// LINT-EXEMPT(tests): integration tests may unwrap/index freely; the
+// workspace lint wall applies to library code only (ISSUE 1).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing
+)]
+
+use ci_rank_suite::fingerprint::{build, cases, workload_fingerprint, workload_fingerprint_reused};
+
+/// Pre-optimization baselines, one per `fingerprint::cases()` entry.
+const BASELINES: [(&str, u64); 3] = [
+    ("zipf/naive", 0x2040_1ca2_234e_de89),
+    ("zipf/star", 0xabd2_021b_5d69_7625),
+    ("midsize/star", 0xe045_5ae3_d748_6160),
+];
+
+fn baseline(label: &str) -> u64 {
+    BASELINES
+        .iter()
+        .find(|(l, _)| *l == label)
+        .map(|&(_, fp)| fp)
+        .unwrap_or_else(|| panic!("no baseline for {label}"))
+}
+
+#[test]
+fn replay_matches_pre_optimization_baselines() {
+    for (label, kind, data, queries) in cases() {
+        for threads in [1usize, 2, 8] {
+            let snap = build(&data.db, kind.clone(), threads).unwrap();
+            let fresh = workload_fingerprint(&snap, &queries);
+            assert_eq!(
+                fresh,
+                baseline(label),
+                "{label}: fresh-session replay diverged from the \
+                 pre-optimization baseline (build_threads={threads})"
+            );
+
+            let session = snap.session();
+            let reused = workload_fingerprint_reused(&session, &queries);
+            assert_eq!(
+                reused,
+                baseline(label),
+                "{label}: warm reused-session replay diverged \
+                 (build_threads={threads})"
+            );
+        }
+    }
+}
+
+#[test]
+fn warm_session_replays_without_allocating() {
+    for (label, kind, data, queries) in cases() {
+        let snap = build(&data.db, kind, 1).unwrap();
+        let session = snap.session();
+        // First replay warms the pool up to the workload's working set.
+        let first = workload_fingerprint_reused(&session, &queries);
+        let warm_slots = session.scratch_slots_allocated();
+        assert!(warm_slots > 0, "{label}: the workload searches for real");
+        // Steady state: an identical replay reuses every slot.
+        let second = workload_fingerprint_reused(&session, &queries);
+        assert_eq!(first, second, "{label}: warm replay changed results");
+        assert_eq!(
+            session.scratch_slots_allocated(),
+            warm_slots,
+            "{label}: steady-state replay constructed new candidate slots"
+        );
+    }
+}
