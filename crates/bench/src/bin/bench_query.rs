@@ -18,10 +18,16 @@
 //!   trusted — throughput can never come from computing something
 //!   different.
 //!
-//! Thread counts above the machine's hardware parallelism are still
-//! measured (the bit-identity assertion is the point) but flagged
-//! `"oversubscribed": true` in the JSON and warned about on stderr, so
-//! nobody mistakes a time-sliced number for real scaling.
+//! Thread counts above the machine's hardware parallelism are **not
+//! measured**: a time-sliced number is not a throughput number, and
+//! publishing it invites misreading. Skipped sweep points are recorded in
+//! the JSON as `"skipped": true` with the machine's parallelism, so a
+//! reader of the artifact can tell "not parallel here" from "not run".
+//!
+//! After the sweeps, each dataset's serving-metrics snapshot
+//! ([`ci_rank::MetricsRegistry`]) is embedded under `"metrics"` — the
+//! same counters a serving deployment would scrape, accumulated over
+//! everything the bench replayed against that snapshot.
 //!
 //! Usage: `cargo run --release -p ci-bench --bin bench_query [out.json]`
 //! (default output path: `BENCH_query.json` in the current directory).
@@ -141,11 +147,11 @@ struct ClassLatency {
     mean_ms: f64,
 }
 
-struct ThroughputPoint {
-    threads: usize,
-    secs: f64,
-    qps: f64,
-    oversubscribed: bool,
+/// One point of the throughput sweep: measured, or skipped because the
+/// thread count exceeds the machine's hardware parallelism.
+enum ThroughputPoint {
+    Measured { threads: usize, secs: f64, qps: f64 },
+    Skipped { threads: usize },
 }
 
 struct DatasetReport {
@@ -153,6 +159,9 @@ struct DatasetReport {
     queries: usize,
     latency: Vec<ClassLatency>,
     throughput: Vec<ThroughputPoint>,
+    /// Serving-metrics JSON snapshot accumulated over every query the
+    /// bench ran against this dataset's snapshot.
+    metrics_json: String,
 }
 
 /// Single-thread replay: one warm session, per-query latency bucketed by
@@ -247,23 +256,18 @@ fn run_dataset(
 
     let mut throughput = Vec::new();
     for &threads in &THREAD_COUNTS {
-        let oversubscribed = threads > hardware_threads;
-        if oversubscribed {
+        if threads > hardware_threads {
             eprintln!(
-                "  warning: {threads} worker threads on {hardware_threads} hardware \
-                 thread(s) — throughput is time-sliced, not parallel; the number \
-                 below is flagged oversubscribed"
+                "  {name:5} threads={threads}  skipped ({hardware_threads} hardware \
+                 thread(s): a time-sliced run measures scheduling, not throughput)"
             );
+            throughput.push(ThroughputPoint::Skipped { threads });
+            continue;
         }
         let secs = throughput_pass(snap, workload, &reference, threads);
         let qps = (threads * workload.len()) as f64 / secs.max(1e-12);
         eprintln!("  {name:5} threads={threads}  {secs:.3}s  {qps:.1} q/s");
-        throughput.push(ThroughputPoint {
-            threads,
-            secs,
-            qps,
-            oversubscribed,
-        });
+        throughput.push(ThroughputPoint::Measured { threads, secs, qps });
     }
 
     DatasetReport {
@@ -271,6 +275,7 @@ fn run_dataset(
         queries: workload.len(),
         latency,
         throughput,
+        metrics_json: snap.metrics().snapshot().to_json(),
     }
 }
 
@@ -296,14 +301,25 @@ fn json(reports: &[DatasetReport], hardware_threads: usize, quick: bool) -> Stri
         out.push_str("      \"throughput\": {\n");
         for (j, t) in r.throughput.iter().enumerate() {
             let comma = if j + 1 < r.throughput.len() { "," } else { "" };
-            let _ = writeln!(
-                out,
-                "        \"threads_{}\": {{\"secs\": {:.6}, \"qps\": {:.3}, \
-                 \"oversubscribed\": {}}}{comma}",
-                t.threads, t.secs, t.qps, t.oversubscribed
-            );
+            match t {
+                ThroughputPoint::Measured { threads, secs, qps } => {
+                    let _ = writeln!(
+                        out,
+                        "        \"threads_{threads}\": {{\"secs\": {secs:.6}, \
+                         \"qps\": {qps:.3}, \"skipped\": false}}{comma}"
+                    );
+                }
+                ThroughputPoint::Skipped { threads } => {
+                    let _ = writeln!(
+                        out,
+                        "        \"threads_{threads}\": {{\"skipped\": true, \
+                         \"hardware_threads\": {hardware_threads}}}{comma}"
+                    );
+                }
+            }
         }
-        out.push_str("      }\n");
+        out.push_str("      },\n");
+        let _ = writeln!(out, "      \"metrics\": {}", r.metrics_json);
         let comma = if i + 1 < reports.len() { "," } else { "" };
         let _ = writeln!(out, "    }}{comma}");
     }

@@ -6,8 +6,11 @@
 //!   generate a synthetic dataset and write it as a text dump;
 //! * `cirank search --data <file> --query "<keywords>"
 //!   [--weights imdb|dblp|uniform] [--k N] [--diameter N]
-//!   [--ranker ci|spark|banks|discover2] [--explain]` — load a dump and
-//!   answer a keyword query;
+//!   [--ranker ci|spark|banks|discover2] [--explain] [--trace]` — load a
+//!   dump and answer a keyword query;
+//! * `cirank explain --data <file> --query "<keywords>" [--rank N]` —
+//!   print the full Eqs. 2–4 score decomposition of one answer as an
+//!   annotated tree (see `docs/observability.md`);
 //! * `cirank stats --data <file>` — dataset and graph statistics.
 //!
 //! The argument parser is hand-rolled (the workspace's dependency policy
@@ -34,7 +37,7 @@ use std::io::{BufReader, BufWriter};
 
 use ci_datagen::{generate_dblp, generate_imdb, DblpConfig, ImdbConfig};
 use ci_graph::WeightConfig;
-use ci_rank::{CiRankConfig, Engine, Ranker};
+use ci_rank::{CiRankConfig, Engine, Ranker, TraceLevel};
 use ci_storage::{persist, Database};
 
 /// CLI failure: a user-facing message plus a suggestion to print usage.
@@ -56,6 +59,7 @@ cirank — keyword search over relational data, ranked by collective importance
 USAGE:
   cirank generate <imdb|dblp> --out <file> [--scale N] [--seed N]
   cirank search --data <file> --query \"<keywords>\" [options]
+  cirank explain --data <file> --query \"<keywords>\" [--rank N] [options]
   cirank stats --data <file>
 
 SEARCH OPTIONS:
@@ -63,7 +67,11 @@ SEARCH OPTIONS:
   --k <N>                         answers to return (default 10)
   --diameter <N>                  max answer-tree diameter D (default 4)
   --ranker <ci|spark|banks|discover2>  ranking function (default ci)
-  --explain                       print the per-node RWMP score breakdown
+  --explain                       print each answer's score decomposition
+  --trace                         print a search-trace summary (pops, prunes, cache)
+
+EXPLAIN OPTIONS:
+  --rank <N>                      which answer to explain, 1-based (default 1)
 ";
 
 /// Entry point used by `main` and by the tests: parses `args` (without the
@@ -73,6 +81,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     match args.first().map(String::as_str) {
         Some("generate") => generate(rest),
         Some("search") => search(rest),
+        Some("explain") => explain(rest),
         Some("stats") => stats(rest),
         Some("help") | Some("--help") | Some("-h") => Ok(USAGE.to_string()),
         Some(other) => Err(CliError(format!("unknown subcommand {other:?}\n\n{USAGE}"))),
@@ -209,7 +218,7 @@ fn infer_weights(db: &Database, flag: Option<&str>) -> Result<WeightConfig, CliE
 }
 
 fn search(args: &[String]) -> Result<String, CliError> {
-    let flags = Flags::parse(args, &["explain"])?;
+    let flags = Flags::parse(args, &["explain", "trace"])?;
     let data = flags.require("data")?;
     let query = flags.require("query")?.to_string();
     let db = load_db(data)?;
@@ -232,15 +241,57 @@ fn search(args: &[String]) -> Result<String, CliError> {
         other => return Err(CliError(format!("unknown ranker {other:?}"))),
     };
 
-    let answers = if ranker == Ranker::CiRank {
-        engine.search(&query)
-    } else {
-        engine.search_ranked(&query, ranker, cfg_pool(&flags)?)
-    }
-    .map_err(|e| CliError(format!("search failed: {e}")))?;
-
     // `fmt::Write` into a String cannot fail; the results are ignored.
     let mut out = String::new();
+    let answers = if ranker == Ranker::CiRank {
+        // Tracing only instruments the branch-and-bound path, so it is
+        // wired through an explicit session on the CI ranker.
+        let want_trace = flags.has("trace");
+        let session = if want_trace {
+            engine.session().with_trace(TraceLevel::Full)
+        } else {
+            engine.session()
+        };
+        let (answers, stats) = session
+            .search_with_stats(&query)
+            .map_err(|e| CliError(format!("search failed: {e}")))?;
+        if want_trace {
+            let trace = session.last_trace();
+            let c = trace.counts();
+            let _ = writeln!(
+                out,
+                "trace: {} pops, {} grows, {} merges, {} admits, {} prunes, \
+                 {} truncations, {} cache transitions ({} events kept, {} dropped)",
+                c.pops,
+                c.grows,
+                c.merges,
+                c.admits,
+                c.prunes,
+                c.truncations,
+                c.cache_transitions,
+                trace.events().len(),
+                trace.dropped(),
+            );
+            let _ = writeln!(
+                out,
+                "stats: {} pops, {} registered, {} bound-pruned, {} distance-pruned, {} merges",
+                stats.pops,
+                stats.registered,
+                stats.bound_pruned,
+                stats.distance_pruned,
+                stats.merges,
+            );
+        }
+        answers
+    } else {
+        if flags.has("trace") {
+            let _ = writeln!(out, "note: --trace instruments the ci ranker only");
+        }
+        engine
+            .search_ranked(&query, ranker, cfg_pool(&flags)?)
+            .map_err(|e| CliError(format!("search failed: {e}")))?
+    };
+
     if answers.is_empty() {
         let _ = writeln!(out, "no answers for {query:?}");
         return Ok(out);
@@ -248,18 +299,56 @@ fn search(args: &[String]) -> Result<String, CliError> {
     for (i, a) in answers.iter().enumerate() {
         let _ = writeln!(out, "#{:<2} {a}", i + 1);
         if flags.has("explain") {
-            for x in engine
+            let report = engine
                 .explain(&query, &a.tree)
-                .map_err(|e| CliError(format!("explain failed: {e}")))?
-            {
-                let _ = writeln!(
-                    out,
-                    "     {} p={:.6} d={:.3} gen={:.4} score={:.4} — {:?}",
-                    x.node, x.importance, x.dampening, x.generation, x.node_score, x.text
-                );
+                .map_err(|e| CliError(format!("explain failed: {e}")))?;
+            for line in report.render().lines() {
+                let _ = writeln!(out, "     {line}");
             }
         }
     }
+    Ok(out)
+}
+
+fn explain(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args, &[])?;
+    let data = flags.require("data")?;
+    let query = flags.require("query")?.to_string();
+    let rank = flags.get_usize("rank", 1)?;
+    if rank == 0 {
+        return Err(CliError(
+            "--rank is 1-based; use --rank 1 for the top answer".into(),
+        ));
+    }
+    let db = load_db(data)?;
+    let weights = infer_weights(&db, flags.get("weights"))?;
+    let cfg = CiRankConfig {
+        weights,
+        k: flags.get_usize("k", 10)?.max(rank),
+        diameter: flags.get_usize("diameter", 4)? as u32,
+        max_expansions: Some(50_000),
+        ..Default::default()
+    };
+    let engine =
+        Engine::build(&db, cfg).map_err(|e| CliError(format!("engine build failed: {e}")))?;
+    let answers = engine
+        .search(&query)
+        .map_err(|e| CliError(format!("search failed: {e}")))?;
+    if answers.is_empty() {
+        return Ok(format!("no answers for {query:?}\n"));
+    }
+    let Some(a) = answers.get(rank - 1) else {
+        return Err(CliError(format!(
+            "only {} answer(s) for {query:?}; --rank {rank} is out of range",
+            answers.len()
+        )));
+    };
+    let report = engine
+        .explain(&query, &a.tree)
+        .map_err(|e| CliError(format!("explain failed: {e}")))?;
+    let mut out = String::new();
+    let _ = writeln!(out, "#{rank:<2} {a}");
+    out.push_str(&report.render());
     Ok(out)
 }
 
@@ -380,6 +469,67 @@ mod tests {
         ]))
         .unwrap();
         assert!(res.contains("p=") || res.contains("no answers"));
+    }
+
+    #[test]
+    fn explain_subcommand_renders_the_annotated_tree() {
+        let path = tmp("dblp3.dump");
+        run(&argv(&["generate", "dblp", "--out", &path, "--seed", "11"])).unwrap();
+        let db = load_db(&path).unwrap();
+        let author_table = db.table_by_name("author").unwrap();
+        let name = db
+            .tuple_text(ci_storage::TupleId::new(author_table, 1))
+            .unwrap();
+        let last = name.split(' ').nth(1).unwrap().to_string();
+        let res = run(&argv(&["explain", "--data", &path, "--query", &last])).unwrap();
+        assert!(
+            res.contains("score ") || res.contains("no answers"),
+            "{res}"
+        );
+        if res.contains("score ") {
+            assert!(res.contains("Eq. 4"), "{res}");
+            assert!(res.contains("generation r="), "{res}");
+        }
+        let err = run(&argv(&[
+            "explain", "--data", &path, "--query", &last, "--rank", "0",
+        ]))
+        .unwrap_err();
+        assert!(err.0.contains("1-based"), "{err}");
+        let err = run(&argv(&[
+            "explain", "--data", &path, "--query", &last, "--rank", "9999",
+        ]))
+        .unwrap_err();
+        assert!(err.0.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn search_trace_prints_a_summary() {
+        let path = tmp("dblp4.dump");
+        run(&argv(&["generate", "dblp", "--out", &path, "--seed", "13"])).unwrap();
+        let db = load_db(&path).unwrap();
+        let author_table = db.table_by_name("author").unwrap();
+        let name = db
+            .tuple_text(ci_storage::TupleId::new(author_table, 2))
+            .unwrap();
+        let last = name.split(' ').nth(1).unwrap().to_string();
+        let res = run(&argv(&[
+            "search", "--data", &path, "--query", &last, "--trace",
+        ]))
+        .unwrap();
+        assert!(res.contains("trace:"), "{res}");
+        assert!(res.contains("stats:"), "{res}");
+        // Tracing does not perturb answers: same query without --trace
+        // returns the identical ranked list.
+        let plain = run(&argv(&["search", "--data", &path, "--query", &last])).unwrap();
+        let traced_answers: Vec<&str> = res.lines().filter(|l| l.starts_with('#')).collect();
+        let plain_answers: Vec<&str> = plain.lines().filter(|l| l.starts_with('#')).collect();
+        assert_eq!(traced_answers, plain_answers);
+        // Non-CI rankers note that --trace does not apply.
+        let res = run(&argv(&[
+            "search", "--data", &path, "--query", &last, "--trace", "--ranker", "banks",
+        ]))
+        .unwrap();
+        assert!(res.contains("ci ranker only"), "{res}");
     }
 
     #[test]

@@ -229,24 +229,28 @@ mod tests {
     fn explain_breaks_down_the_score() {
         let e = engine();
         let answers = e.search("papakonstantinou ullman").unwrap();
-        let explained = e
+        let report = e
             .explain("papakonstantinou ullman", &answers[0].tree)
             .unwrap();
-        assert_eq!(explained.len(), 2, "two matchers in the answer");
-        for x in &explained {
+        let sources = &report.explanation.sources;
+        assert_eq!(sources.len(), 2, "two matchers in the answer");
+        for s in sources {
+            assert!(s.generation > 0.0);
+            assert!(s.node_score > 0.0);
+            assert!(s.node_score <= s.generation * 10.0);
+        }
+        for x in &report.explanation.nodes {
             assert!(x.importance > 0.0);
             assert!(x.dampening > 0.0 && x.dampening < 1.0);
-            assert!(x.generation > 0.0);
-            assert!(x.node_score > 0.0);
-            assert!(x.node_score <= x.generation * 10.0);
         }
-        // The tree score equals the mean of node scores.
-        let mean: f64 =
-            explained.iter().map(|x| x.node_score).sum::<f64>() / explained.len() as f64;
+        // The tree score is exactly the mean of node scores — and the
+        // report's score replays the ranked score bit for bit.
+        let mean: f64 = sources.iter().map(|s| s.node_score).sum::<f64>() / sources.len() as f64;
         assert!((mean - answers[0].score).abs() < 1e-9);
-        // A tree with no matchers explains to nothing.
-        let free_only = e.explain("zzzz qqqq", &answers[0].tree).unwrap();
-        assert!(free_only.is_empty());
+        assert_eq!(report.score().to_bits(), answers[0].score.to_bits());
+        // A tree with no matchers is not an answer and cannot be explained.
+        let err = e.explain("zzzz qqqq", &answers[0].tree).unwrap_err();
+        assert_eq!(err, crate::CiRankError::NotAnAnswer);
     }
 
     #[test]
@@ -369,10 +373,10 @@ mod tests {
             assert_eq!(stored[v.idx()], fresh.dampening(v));
         }
         let answers = e.search("papakonstantinou ullman").unwrap();
-        for x in e
+        let report = e
             .explain("papakonstantinou ullman", &answers[0].tree)
-            .unwrap()
-        {
+            .unwrap();
+        for x in &report.explanation.nodes {
             assert_eq!(x.dampening, stored[x.node.idx()]);
         }
     }

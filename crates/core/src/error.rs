@@ -9,6 +9,10 @@ pub enum CiRankError {
     TooManyKeywords(usize),
     /// The database was empty — there is nothing to search.
     EmptyDatabase,
+    /// A tree passed to [`crate::EngineSnapshot::explain`] contains no
+    /// node matching the query — it is not an answer, so it has no score
+    /// to decompose.
+    NotAnAnswer,
     /// A storage-layer failure.
     Storage(ci_storage::StorageError),
 }
@@ -24,6 +28,9 @@ impl fmt::Display for CiRankError {
                 )
             }
             CiRankError::EmptyDatabase => write!(f, "the database contains no tuples"),
+            CiRankError::NotAnAnswer => {
+                write!(f, "the tree matches no query keyword; nothing to explain")
+            }
             CiRankError::Storage(e) => write!(f, "storage error: {e}"),
         }
     }

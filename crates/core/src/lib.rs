@@ -71,6 +71,9 @@
 //! assert_eq!(answers[0].nodes.len(), 3); // author — paper — author
 //! ```
 
+// Documentation is part of the public API: every public item in this
+// crate must carry rustdoc (CI builds docs with `-D warnings`).
+#![warn(missing_docs)]
 // LINT-EXEMPT(tests): the workspace lint wall (workspace Cargo.toml) bans
 // panicking constructs in library code; unit tests opt back in. Clippy still
 // checks the non-test compilation of this crate, so library violations are
@@ -90,7 +93,9 @@ mod builder;
 mod config;
 mod engine;
 mod error;
+mod explain;
 pub mod feedback;
+mod metrics;
 mod ranker;
 mod session;
 mod snapshot;
@@ -100,9 +105,19 @@ pub use builder::{BuildStage, EngineBuilder, StageReport};
 pub use config::{CiRankConfig, ImportanceMethod, IndexKind};
 pub use engine::Engine;
 pub use error::CiRankError;
+pub use explain::ExplainReport;
+pub use metrics::{MetricsRegistry, MetricsSnapshot, LATENCY_BUCKETS, LATENCY_BUCKET_BOUNDS_US};
 pub use ranker::Ranker;
 pub use session::QuerySession;
-pub use snapshot::{AnswerNode, EngineSnapshot, RankedAnswer, ScoreExplanation};
+pub use snapshot::{AnswerNode, EngineSnapshot, RankedAnswer};
+
+// The observability vocabulary of the search layer, re-exported so engine
+// users can configure tracing and consume explanations without naming
+// `ci_search` directly.
+pub use ci_search::{
+    ExplainedNode, ExplainedSource, ScoreExplanation, SearchTrace, TraceCounts, TraceEvent,
+    TraceLevel,
+};
 
 /// Convenience alias.
 pub type Result<T> = std::result::Result<T, CiRankError>;

@@ -1,10 +1,11 @@
 use std::cell::RefCell;
+use std::time::Instant;
 
 use ci_index::{DistanceOracle, OracleVisitor};
 use ci_rwmp::Scorer;
 use ci_search::{
     bnb_search_in, naive_search, Answer, CachedOracle, OracleCache, QueryBudget, QuerySpec,
-    SearchOptions, SearchScratch, SearchStats,
+    SearchOptions, SearchScratch, SearchStats, SearchTrace, TraceLevel,
 };
 
 use crate::snapshot::{EngineSnapshot, RankedAnswer};
@@ -74,6 +75,14 @@ impl<'s> QuerySession<'s> {
         self
     }
 
+    /// Sets the session's trace level. At [`TraceLevel::Off`] (the
+    /// default) nothing is recorded and the query path costs one branch
+    /// per emission site; no level changes answers or statistics.
+    pub fn with_trace(mut self, level: TraceLevel) -> Self {
+        self.opts.trace = level;
+        self
+    }
+
     /// The session's current search options.
     pub fn options(&self) -> &SearchOptions {
         &self.opts
@@ -91,6 +100,13 @@ impl<'s> QuerySession<'s> {
     /// pool (asserted by the query hot-path tests).
     pub fn scratch_slots_allocated(&self) -> usize {
         self.scratch.borrow().slots_allocated()
+    }
+
+    /// The trace recorded by the session's most recent branch-and-bound
+    /// run — empty unless the session's trace level
+    /// ([`QuerySession::with_trace`]) enabled recording.
+    pub fn last_trace(&self) -> SearchTrace {
+        self.scratch.borrow().trace().clone()
     }
 
     /// Branch-and-bound top-k under this session's options and budget,
@@ -113,31 +129,49 @@ impl<'s> QuerySession<'s> {
 
     /// Like [`QuerySession::search`], also returning search statistics
     /// (including [`SearchStats::truncation`] when the budget cut the run
-    /// short).
+    /// short). Every call — success or error — is folded into the
+    /// snapshot's [`crate::MetricsRegistry`].
     pub fn search_with_stats(&self, query: &str) -> Result<(Vec<RankedAnswer>, SearchStats)> {
-        let spec = self.snap.query_spec(query)?;
+        let start = Instant::now();
+        let spec = match self.snap.query_spec(query) {
+            Ok(spec) => spec,
+            Err(e) => {
+                self.snap.metrics().record_error();
+                return Err(e);
+            }
+        };
         let (answers, stats) = self.run_bnb(&spec);
-        Ok((
-            answers
-                .into_iter()
-                .map(|a| self.snap.to_ranked(&spec, a))
-                .collect(),
-            stats,
-        ))
+        let ranked: Vec<RankedAnswer> = answers
+            .into_iter()
+            .map(|a| self.snap.to_ranked(&spec, a))
+            .collect();
+        self.snap
+            .metrics()
+            .record_search(&stats, ranked.len(), start.elapsed());
+        Ok((ranked, stats))
     }
 
-    /// Top-k search with the naive algorithm of §IV-A.
+    /// Top-k search with the naive algorithm of §IV-A. Recorded in the
+    /// snapshot's serving metrics like the branch-and-bound path.
     pub fn search_naive(&self, query: &str) -> Result<(Vec<RankedAnswer>, SearchStats)> {
-        let spec = self.snap.query_spec(query)?;
+        let start = Instant::now();
+        let spec = match self.snap.query_spec(query) {
+            Ok(spec) => spec,
+            Err(e) => {
+                self.snap.metrics().record_error();
+                return Err(e);
+            }
+        };
         let scorer = self.snap.scorer();
         let (answers, stats) = naive_search(&scorer, &spec, &self.opts);
-        Ok((
-            answers
-                .into_iter()
-                .map(|a| self.snap.to_ranked(&spec, a))
-                .collect(),
-            stats,
-        ))
+        let ranked: Vec<RankedAnswer> = answers
+            .into_iter()
+            .map(|a| self.snap.to_ranked(&spec, a))
+            .collect();
+        self.snap
+            .metrics()
+            .record_search(&stats, ranked.len(), start.elapsed());
+        Ok((ranked, stats))
     }
 
     /// Generates a candidate pool of up to `pool_k` answers via

@@ -12,6 +12,8 @@ use ci_walk::Importance;
 use crate::builder::EngineBuilder;
 use crate::config::CiRankConfig;
 use crate::error::CiRankError;
+use crate::explain::ExplainReport;
+use crate::metrics::MetricsRegistry;
 use crate::ranker::{rank_pool, Ranker};
 use crate::session::QuerySession;
 use crate::Result;
@@ -27,24 +29,6 @@ pub struct AnswerNode {
     pub text: String,
     /// True if the node matches a query keyword (non-free).
     pub is_matcher: bool,
-}
-
-/// Per-matcher breakdown of an answer's RWMP score (see
-/// [`EngineSnapshot::explain`]).
-#[derive(Debug, Clone)]
-pub struct ScoreExplanation {
-    /// The non-free node.
-    pub node: NodeId,
-    /// Its text.
-    pub text: String,
-    /// Random-walk importance `p_i`.
-    pub importance: f64,
-    /// Dampening rate `d_i` (Eq. 2).
-    pub dampening: f64,
-    /// Message generation count `r_ii`.
-    pub generation: f64,
-    /// Eq. 3 node score (minimum incoming flow).
-    pub node_score: f64,
 }
 
 /// A scored query answer with human-readable node payloads.
@@ -94,6 +78,9 @@ pub struct EngineSnapshot {
     dist: DistIndex,
     node_text: Vec<String>,
     relation_names: Vec<String>,
+    /// Cumulative serving counters, fed by every [`QuerySession`] over
+    /// this snapshot (relaxed atomics — see [`MetricsRegistry`]).
+    metrics: MetricsRegistry,
 }
 
 // Compile-time proof that snapshots can be shared across threads; the
@@ -145,6 +132,7 @@ impl EngineSnapshot {
             dist,
             node_text,
             relation_names,
+            metrics: MetricsRegistry::new(),
         }
     }
 
@@ -176,6 +164,13 @@ impl EngineSnapshot {
     /// The distance index backing the search.
     pub fn dist_index(&self) -> &DistIndex {
         &self.dist
+    }
+
+    /// The snapshot's serving metrics: cumulative counters over every
+    /// query any session has run against it. Read with
+    /// [`MetricsRegistry::snapshot`]; safe to call from any thread.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// The concatenated text of one graph node.
@@ -351,40 +346,35 @@ impl EngineSnapshot {
         Ok(answers)
     }
 
-    /// Explains an answer's RWMP score: per non-free node, the Eq. 3
-    /// minimum incoming flow and the node's own statistics. Returns one
-    /// entry per matcher in tree order.
-    pub fn explain(&self, query: &str, tree: &Jtt) -> Result<Vec<ScoreExplanation>> {
+    /// Explains an answer's RWMP score: the full Eqs. 2–4 decomposition
+    /// (per-source generation counts, hop-dampened flows into every tree
+    /// node, the Eq. 3 minimum and its arg-min source, the Eq. 4 mean)
+    /// paired with display metadata. The report's score is bit-identical
+    /// to the score the search ranked the answer by; render it with
+    /// [`ExplainReport::render`] (the `cirank explain` subcommand).
+    ///
+    /// Errors with [`CiRankError::NotAnAnswer`] when `tree` contains no
+    /// node matching the query.
+    pub fn explain(&self, query: &str, tree: &Jtt) -> Result<ExplainReport> {
         let spec = self.query_spec(query)?;
         let scorer = self.scorer();
-        let bindings: Vec<ci_rwmp::NodeBinding> = (0..tree.size())
-            .filter_map(|pos| {
-                spec.matcher(tree.node(pos)).map(|m| ci_rwmp::NodeBinding {
-                    pos,
-                    match_count: m.match_count,
-                    word_count: m.word_count,
-                })
+        let explanation =
+            ci_search::explain_answer(&scorer, &spec, tree).ok_or(CiRankError::NotAnAnswer)?;
+        let nodes = tree
+            .nodes()
+            .iter()
+            .map(|&v| AnswerNode {
+                node: v,
+                relation: self.relation_name(v),
+                text: self.node_text(v).to_owned(),
+                is_matcher: spec.matcher(v).is_some(),
             })
             .collect();
-        if bindings.is_empty() {
-            return Ok(Vec::new());
-        }
-        let score = scorer.score_tree(tree, &bindings);
-        Ok(bindings
-            .iter()
-            .zip(&score.node_scores)
-            .map(|(b, &node_score)| {
-                let node = tree.node(b.pos);
-                ScoreExplanation {
-                    node,
-                    text: self.node_text(node).to_owned(),
-                    importance: self.importance.get(node),
-                    dampening: scorer.dampening(node),
-                    generation: scorer.generation(node, b.match_count, b.word_count),
-                    node_score,
-                }
-            })
-            .collect())
+        Ok(ExplainReport {
+            explanation,
+            nodes,
+            keywords: spec.keywords().to_vec(),
+        })
     }
 
     pub(crate) fn to_ranked(&self, spec: &QuerySpec, answer: Answer) -> RankedAnswer {

@@ -48,6 +48,9 @@
 //! assert!(oracle.retention_ub(a1, a2) <= 0.6 * 0.3 + 1e-12);
 //! ```
 
+// Documentation is part of the public API: every public item in this
+// crate must carry rustdoc (CI builds docs with `-D warnings`).
+#![warn(missing_docs)]
 // LINT-EXEMPT(tests): the workspace lint wall (workspace Cargo.toml) bans
 // panicking constructs in library code; unit tests opt back in. Clippy still
 // checks the non-test compilation of this crate, so library violations are

@@ -28,6 +28,15 @@ pub trait DistanceOracle {
     fn probe(&self, u: NodeId, v: NodeId) -> (u32, f64) {
         (self.dist_lb(u, v), self.retention_ub(u, v))
     }
+
+    /// Cumulative `(hits, misses)` probe counters, for oracles that
+    /// memoize (the search layer's caching wrapper overrides this).
+    /// `None` — the default — means the oracle keeps no such counters.
+    /// Purely observational: query tracing uses it to record cache
+    /// hit/miss transitions without issuing extra probes.
+    fn probe_counters(&self) -> Option<(u64, u64)> {
+        None
+    }
 }
 
 /// The trivial oracle: no pruning information at all. Searching with

@@ -5,12 +5,13 @@ use ci_index::DistanceOracle;
 use ci_rwmp::Scorer;
 
 use crate::answer::{score_answer, Answer, TopK};
-use crate::bounds::{distance_prune, upper_bound_from};
+use crate::bounds::{bound_parts_from, distance_prune};
 use crate::budget::TruncationReason;
 use crate::candidate::Candidate;
 use crate::flows::{compute_flows, grow_flows};
 use crate::query::QuerySpec;
 use crate::scratch::{CandSlot, SearchScratch};
+use crate::trace::{PruneReason, TraceEvent};
 use crate::validity::{is_valid_answer, leaves_matchable};
 use crate::SearchOptions;
 
@@ -93,6 +94,9 @@ struct SearchRun<'a, O: DistanceOracle> {
     topk: TopK,
     stats: SearchStats,
     deadline_ticks: u32,
+    /// Last oracle `(hits, misses)` snapshot emitted into the trace, so
+    /// cache events record transitions, not every pop.
+    last_cache: Option<(u64, u64)>,
     /// `(ub, idx)` of the previous pop, for the pop-order assertion.
     #[cfg(any(debug_assertions, feature = "strict-invariants"))]
     last_pop: Option<(f64, usize)>,
@@ -138,6 +142,7 @@ pub fn bnb_search_in<O: DistanceOracle>(
     scratch: &mut SearchScratch,
 ) -> (Vec<Answer>, SearchStats) {
     scratch.begin();
+    scratch.trace.begin(opts.trace, opts.trace_capacity);
     let mut run = SearchRun {
         scorer,
         query,
@@ -147,6 +152,7 @@ pub fn bnb_search_in<O: DistanceOracle>(
         topk: TopK::new(opts.k),
         stats: SearchStats::default(),
         deadline_ticks: 0,
+        last_cache: None,
         #[cfg(any(debug_assertions, feature = "strict-invariants"))]
         last_pop: None,
     };
@@ -193,7 +199,7 @@ pub fn bnb_search_in<O: DistanceOracle>(
         }
         if let Some(cap) = run.opts.budget.max_expansions {
             if run.stats.pops >= cap {
-                run.stats.truncation = Some(TruncationReason::Expansions);
+                run.truncate(TruncationReason::Expansions);
                 break;
             }
         }
@@ -218,6 +224,20 @@ pub fn bnb_search_in<O: DistanceOracle>(
         if !found {
             debug_assert!(false, "queue references a missing arena slot");
             continue;
+        }
+        if run.scratch.trace.level().pops() {
+            let pop = &run.scratch.pop_slot;
+            let event = TraceEvent::Pop {
+                idx,
+                root: pop.cand.root(),
+                size: pop.cand.size(),
+                mask: pop.cand.mask,
+                ub,
+                ce: pop.ce,
+                pe: pop.pe,
+            };
+            run.scratch.trace.emit(event);
+            run.trace_cache_transition();
         }
         // Pop-order soundness (Theorem 1): a popped candidate that is
         // itself a complete valid answer must be dominated by the bound it
@@ -248,6 +268,12 @@ pub fn bnb_search_in<O: DistanceOracle>(
             if run.scratch.pop_slot.cand.contains(vj) {
                 continue;
             }
+            if run.scratch.trace.level().full() {
+                run.scratch.trace.emit(TraceEvent::Grow {
+                    from_root: root,
+                    added: vj,
+                });
+            }
             let mut slot = run.scratch.acquire();
             let pop = &run.scratch.pop_slot;
             pop.cand.grow_into(vj, run.query, &mut slot.cand);
@@ -266,6 +292,43 @@ pub fn bnb_search_in<O: DistanceOracle>(
 }
 
 impl<'a, O: DistanceOracle> SearchRun<'a, O> {
+    /// Records a budget truncation in the stats and, when tracing, in the
+    /// trace buffer.
+    fn truncate(&mut self, reason: TruncationReason) {
+        self.stats.truncation = Some(reason);
+        if self.scratch.trace.level().pops() {
+            self.scratch.trace.emit(TraceEvent::Truncated { reason });
+        }
+    }
+
+    /// Emits a [`TraceEvent::Cache`] when the oracle's cumulative probe
+    /// counters moved since the last emission. Observational only: reads
+    /// counters the memoizing wrapper maintains anyway, never probes.
+    fn trace_cache_transition(&mut self) {
+        if !self.scratch.trace.level().full() {
+            return;
+        }
+        if let Some((hits, misses)) = self.oracle.probe_counters() {
+            if self.last_cache != Some((hits, misses)) {
+                self.last_cache = Some((hits, misses));
+                self.scratch.trace.emit(TraceEvent::Cache { hits, misses });
+            }
+        }
+    }
+
+    /// Records a [`TraceEvent::Prune`] for a rejected candidate (Full
+    /// level only).
+    fn trace_prune(&mut self, reason: PruneReason, cand: &Candidate) {
+        if self.scratch.trace.level().full() {
+            self.scratch.trace.emit(TraceEvent::Prune {
+                reason,
+                root: cand.root(),
+                size: cand.size(),
+                mask: cand.mask,
+            });
+        }
+    }
+
     /// Polls the wall-clock deadline (strided — see
     /// [`DEADLINE_POLL_STRIDE`]) and records the truncation on expiry.
     fn deadline_hit(&mut self) -> bool {
@@ -278,7 +341,7 @@ impl<'a, O: DistanceOracle> SearchRun<'a, O> {
             return false;
         }
         if self.opts.budget.deadline_exceeded(Instant::now()) {
-            self.stats.truncation = Some(TruncationReason::Deadline);
+            self.truncate(TruncationReason::Deadline);
             true
         } else {
             false
@@ -301,14 +364,14 @@ impl<'a, O: DistanceOracle> SearchRun<'a, O> {
         while let Some(c) = self.scratch.worklist.pop() {
             if let Some(cap) = registration_cap {
                 if self.stats.registered >= cap {
-                    self.stats.truncation = Some(TruncationReason::Expansions);
+                    self.truncate(TruncationReason::Expansions);
                     self.recycle_worklist(c);
                     return;
                 }
             }
             if let Some(cap) = self.opts.budget.max_candidates {
                 if self.scratch.arena.len() >= cap {
-                    self.stats.truncation = Some(TruncationReason::CandidateMemory);
+                    self.truncate(TruncationReason::CandidateMemory);
                     self.recycle_worklist(c);
                     return;
                 }
@@ -343,6 +406,14 @@ impl<'a, O: DistanceOracle> SearchRun<'a, O> {
                         }
                         _ => false,
                     };
+                    if self.scratch.trace.level().full() {
+                        self.scratch.trace.emit(TraceEvent::Merge {
+                            root,
+                            idx,
+                            partner: p,
+                            merged,
+                        });
+                    }
                     if merged {
                         // Merged shapes recompute flows from scratch: the
                         // subtree positions interleave, so no incremental
@@ -369,8 +440,9 @@ impl<'a, O: DistanceOracle> SearchRun<'a, O> {
     /// Checks a candidate against all prunes; on success stores it, offers
     /// it to the top-k (if a valid complete answer), and returns its arena
     /// index. Rejected slots return to the pool.
-    fn admit(&mut self, slot: CandSlot) -> Option<usize> {
+    fn admit(&mut self, mut slot: CandSlot) -> Option<usize> {
         if slot.cand.diameter > self.opts.diameter || slot.cand.size() > self.opts.max_tree_nodes {
+            self.trace_prune(PruneReason::Structural, &slot.cand);
             self.scratch.release(slot);
             return None;
         }
@@ -386,6 +458,7 @@ impl<'a, O: DistanceOracle> SearchRun<'a, O> {
             slot.cand.frozen_leaves_into(counts_buf, leaves_buf);
         }
         if !leaves_matchable(&tree, self.query, &self.scratch.leaves_buf) {
+            self.trace_prune(PruneReason::InfeasibleLeaves, &slot.cand);
             self.scratch.release(slot);
             return None;
         }
@@ -396,15 +469,17 @@ impl<'a, O: DistanceOracle> SearchRun<'a, O> {
             .seen
             .insert((slot.cand.root(), tree.canonical_key()))
         {
+            self.trace_prune(PruneReason::Duplicate, &slot.cand);
             self.scratch.release(slot);
             return None;
         }
         if distance_prune(self.query, self.oracle, &slot.cand, self.opts.diameter) {
             self.stats.distance_pruned += 1;
+            self.trace_prune(PruneReason::Distance, &slot.cand);
             self.scratch.release(slot);
             return None;
         }
-        let ub = upper_bound_from(
+        let parts = bound_parts_from(
             self.scorer,
             self.query,
             self.oracle,
@@ -412,13 +487,19 @@ impl<'a, O: DistanceOracle> SearchRun<'a, O> {
             &slot.flows,
             self.opts.allow_redundant_matchers,
         );
+        let ub = parts.ub();
         if let Some(min) = self.topk.min_score() {
             if ub < min {
                 self.stats.bound_pruned += 1;
+                self.trace_prune(PruneReason::Bound, &slot.cand);
                 self.scratch.release(slot);
                 return None;
             }
         }
+        // Stored for pop-time tracing: re-deriving the parts there would
+        // re-probe the oracle and perturb the cache counters.
+        slot.ce = parts.ce;
+        slot.pe = parts.pe;
         if slot.cand.mask == self.query.full_mask() && is_valid_answer(&tree, self.query) {
             if let Some(score) = score_answer(self.scorer, self.query, &tree) {
                 self.topk.offer(Answer { tree, score });
@@ -426,11 +507,22 @@ impl<'a, O: DistanceOracle> SearchRun<'a, O> {
         }
         let idx = self.scratch.arena.len();
         let root = slot.cand.root();
+        let size = slot.cand.size();
+        let mask = slot.cand.mask;
         self.scratch.arena.push(slot);
         self.stats.candidates_peak = self.stats.candidates_peak.max(self.scratch.arena.len());
         self.scratch.push_root_chain(root, idx);
         self.scratch.queue.push(HeapItem { ub, idx });
         self.stats.registered += 1;
+        if self.scratch.trace.level().full() {
+            self.scratch.trace.emit(TraceEvent::Admit {
+                idx,
+                root,
+                size,
+                mask,
+                ub,
+            });
+        }
         Some(idx)
     }
 

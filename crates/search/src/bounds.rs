@@ -52,15 +52,41 @@ pub fn upper_bound<O: DistanceOracle + ?Sized>(
     ub
 }
 
+/// The two components of `ub(C) = max(ce(C), pe(C))` (§IV-B), computed
+/// together on the hot path and stored with the candidate so query tracing
+/// can report the bound decomposition at pop time without re-probing the
+/// oracle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundParts {
+    /// Complete estimate: mean over the candidate's existing matchers of
+    /// their per-node Eq. 3 score bound.
+    pub ce: f64,
+    /// Damped potential estimate — the best score an added matcher beyond
+    /// the root could still achieve — or `-inf` when no extension path
+    /// applies (complete candidate with redundant matchers disallowed), in
+    /// which case the bound reduces to `ce` exactly.
+    pub pe: f64,
+}
+
+impl BoundParts {
+    /// The admissible upper bound `ub(C) = max(ce, pe)`. Bit-identical to
+    /// the historical single-value computation: `-inf` never wins a
+    /// [`f64::max`] against the (finite, non-NaN) `ce`.
+    #[inline]
+    #[must_use]
+    pub fn ub(self) -> f64 {
+        // Admissibility (Lemma 1) is established where the parts are
+        // computed (`bound_parts_from`); the max itself must stay sane.
+        debug_assert!(
+            !self.ce.is_nan() && !self.pe.is_nan(),
+            "admissibility: ub(C) components must be numbers"
+        );
+        self.ce.max(self.pe)
+    }
+}
+
 /// Computes `ub(C)` from a precomputed [`FlowState`] — the hot-path entry
-/// point of Algorithm 1. Allocation-free: it iterates the flow matrix and
-/// the query's dense matcher table directly instead of materializing
-/// per-source vectors.
-///
-/// Generic over the oracle (statically dispatched): the `retention_ub`
-/// probes sit on the hottest loop of Algorithm 1 and inline per oracle
-/// type. `?Sized` keeps `&dyn DistanceOracle` callers compiling where
-/// static types are unavailable.
+/// point of Algorithm 1. See [`bound_parts_from`] for the decomposition.
 pub fn upper_bound_from<O: DistanceOracle + ?Sized>(
     scorer: &Scorer<'_>,
     query: &QuerySpec,
@@ -69,6 +95,30 @@ pub fn upper_bound_from<O: DistanceOracle + ?Sized>(
     flows: &FlowState,
     allow_redundant: bool,
 ) -> f64 {
+    let ub = bound_parts_from(scorer, query, oracle, cand, flows, allow_redundant).ub();
+    // Admissibility (Lemma 1) is asserted inside `bound_parts_from`; the
+    // wrapper re-checks the cheap numeric sanity half.
+    debug_assert!(!ub.is_nan(), "admissibility: ub(C) must be a number");
+    ub
+}
+
+/// Computes the bound decomposition `(ce, pe)` of `ub(C)` from a
+/// precomputed [`FlowState`]. Allocation-free: it iterates the flow matrix
+/// and the query's dense matcher table directly instead of materializing
+/// per-source vectors.
+///
+/// Generic over the oracle (statically dispatched): the `retention_ub`
+/// probes sit on the hottest loop of Algorithm 1 and inline per oracle
+/// type. `?Sized` keeps `&dyn DistanceOracle` callers compiling where
+/// static types are unavailable.
+pub fn bound_parts_from<O: DistanceOracle + ?Sized>(
+    scorer: &Scorer<'_>,
+    query: &QuerySpec,
+    oracle: &O,
+    cand: &Candidate,
+    flows: &FlowState,
+    allow_redundant: bool,
+) -> BoundParts {
     let root = cand.root();
     let sources = flows.sources();
     assert!(
@@ -122,10 +172,11 @@ pub fn upper_bound_from<O: DistanceOracle + ?Sized>(
     }
     let ce = ce_sum / sources.len() as f64;
 
-    let ub = if complete && !allow_redundant {
+    let pe = if complete && !allow_redundant {
         // No extension can stay a valid answer: the bound is the score of
-        // the candidate itself (ce reduces to it).
-        ce
+        // the candidate itself (ce reduces to it), recorded as a `-inf`
+        // potential so `max(ce, pe)` still produces exactly `ce`.
+        f64::NEG_INFINITY
     } else {
         // pe: messages of each existing type available beyond the root. An
         // added node sits at least one hop past the root, so it retains at
@@ -144,15 +195,20 @@ pub fn upper_bound_from<O: DistanceOracle + ?Sized>(
             };
             pe = pe.min(at_root);
         }
-        ce.max(pe * scorer.max_dampening())
+        pe * scorer.max_dampening()
     };
+    let parts = BoundParts { ce, pe };
 
     // Admissibility (Lemma 1): the bound must dominate the score of every
     // answer grown from this candidate — in particular, a complete
     // candidate is itself one such answer, so `ub(C) ≥ score(C)` exactly.
-    debug_assert!(!ub.is_nan(), "admissibility: ub(C) must be a number");
+    debug_assert!(
+        !parts.ub().is_nan(),
+        "admissibility: ub(C) must be a number"
+    );
     #[cfg(any(debug_assertions, feature = "strict-invariants"))]
     if complete {
+        let ub = parts.ub();
         let tree = cand.to_jtt();
         if let Some(score) = crate::answer::score_answer(scorer, query, &tree) {
             assert!(
@@ -161,7 +217,7 @@ pub fn upper_bound_from<O: DistanceOracle + ?Sized>(
             );
         }
     }
-    ub
+    parts
 }
 
 /// `max_u gen(u) · ρ(u, root)` over a matcher list sorted by descending

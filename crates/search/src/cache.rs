@@ -397,6 +397,13 @@ impl<'a, O: DistanceOracle + ?Sized> DistanceOracle for CachedOracle<'a, O> {
     fn probe(&self, u: NodeId, v: NodeId) -> (u32, f64) {
         self.entry(u, v)
     }
+
+    fn probe_counters(&self) -> Option<(u64, u64)> {
+        let stats = self.store.get().stats();
+        let hits = u64::try_from(stats.hits).unwrap_or(u64::MAX);
+        let misses = u64::try_from(stats.misses).unwrap_or(u64::MAX);
+        Some((hits, misses))
+    }
 }
 
 #[cfg(test)]

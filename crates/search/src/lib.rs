@@ -56,6 +56,9 @@
 //! [`SearchStats::truncation`] report instead of panicking or silently
 //! capping.
 
+// Documentation is part of the public API: every public item in this
+// crate must carry rustdoc (CI builds docs with `-D warnings`).
+#![warn(missing_docs)]
 // LINT-EXEMPT(tests): the workspace lint wall (workspace Cargo.toml) bans
 // panicking constructs in library code; unit tests opt back in. Clippy still
 // checks the non-test compilation of this crate, so library violations are
@@ -80,25 +83,30 @@ mod bounds;
 mod budget;
 mod cache;
 mod candidate;
+mod explain;
 mod flows;
 mod naive;
 mod query;
 mod scratch;
+mod trace;
 mod validity;
 
 pub use answer::{score_answer, Answer, TopK};
 pub use bnb::{bnb_search, bnb_search_in, SearchStats};
+pub use bounds::BoundParts;
 pub use budget::{QueryBudget, TruncationReason};
 pub use cache::{CacheStats, CachedOracle, OracleCache};
+pub use explain::{explain_answer, ExplainedNode, ExplainedSource, ScoreExplanation};
 pub use naive::naive_search;
 pub use query::{MatcherInfo, QuerySpec, MAX_KEYWORDS};
 pub use scratch::SearchScratch;
+pub use trace::{PruneReason, SearchTrace, TraceCounts, TraceEvent, TraceLevel};
 pub use validity::is_valid_answer;
 
 // Hot-path internals re-exported for the workspace microbenchmarks
 // (`crates/bench/benches/query_hot_path.rs`). Not a stable API.
 #[doc(hidden)]
-pub use bounds::{upper_bound, upper_bound_from};
+pub use bounds::{bound_parts_from, upper_bound, upper_bound_from};
 #[doc(hidden)]
 pub use candidate::Candidate;
 #[doc(hidden)]
@@ -125,7 +133,21 @@ pub struct SearchOptions {
     pub naive_max_paths: usize,
     /// Naive search: cap on per-root keyword combinations.
     pub naive_max_combinations: usize,
+    /// How much of the run to record into the caller's
+    /// [`SearchTrace`] buffer. [`TraceLevel::Off`] (the default) records
+    /// nothing and costs one branch per emission site; no level changes
+    /// answers, statistics, or replay fingerprints.
+    pub trace: TraceLevel,
+    /// Maximum events retained per traced run; later events are counted
+    /// in [`SearchTrace::dropped`] instead of growing the buffer.
+    /// Irrelevant at [`TraceLevel::Off`].
+    pub trace_capacity: usize,
 }
+
+/// Default [`SearchOptions::trace_capacity`]: enough for the full event
+/// stream of typical interactive queries at a few hundred KiB, small
+/// enough that a runaway query cannot balloon the session.
+pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
 
 impl Default for SearchOptions {
     fn default() -> Self {
@@ -137,6 +159,8 @@ impl Default for SearchOptions {
             budget: QueryBudget::UNLIMITED,
             naive_max_paths: 256,
             naive_max_combinations: 100_000,
+            trace: TraceLevel::Off,
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
         }
     }
 }

@@ -27,6 +27,7 @@ use ci_graph::NodeId;
 use crate::bnb::HeapItem;
 use crate::candidate::Candidate;
 use crate::flows::FlowState;
+use crate::trace::SearchTrace;
 
 /// Sentinel for "no arena index" in the root chains.
 pub(crate) const NO_IDX: u32 = u32::MAX;
@@ -36,6 +37,13 @@ pub(crate) const NO_IDX: u32 = u32::MAX;
 pub(crate) struct CandSlot {
     pub(crate) cand: Candidate,
     pub(crate) flows: FlowState,
+    /// Complete estimate `ce(C)` stored at admission, so tracing can
+    /// report the bound decomposition at pop time without re-probing the
+    /// oracle (an extra probe would perturb the cache counters).
+    pub(crate) ce: f64,
+    /// Damped potential estimate `pe(C)` stored at admission
+    /// (`-inf` when the potential path was not applicable).
+    pub(crate) pe: f64,
 }
 
 impl Default for CandSlot {
@@ -49,6 +57,8 @@ impl CandSlot {
         CandSlot {
             cand: Candidate::empty(),
             flows: FlowState::default(),
+            ce: f64::NAN,
+            pe: f64::NAN,
         }
     }
 
@@ -56,6 +66,8 @@ impl CandSlot {
     pub(crate) fn assign_from(&mut self, src: &CandSlot) {
         self.cand.assign_from(&src.cand);
         self.flows.assign_from(&src.flows);
+        self.ce = src.ce;
+        self.pe = src.pe;
     }
 }
 
@@ -96,9 +108,14 @@ pub struct SearchScratch {
     pub(crate) counts_buf: Vec<u32>,
     /// Frozen-leaf position scratch.
     pub(crate) leaves_buf: Vec<usize>,
+    /// Bounded per-run trace event buffer, re-armed by the search prologue
+    /// from [`crate::SearchOptions::trace`]. Stays unallocated for scratches
+    /// that only ever run at [`crate::TraceLevel::Off`].
+    pub(crate) trace: SearchTrace,
 }
 
 impl SearchScratch {
+    /// An empty scratch; equivalent to [`SearchScratch::default`].
     pub fn new() -> SearchScratch {
         SearchScratch::default()
     }
@@ -108,6 +125,13 @@ impl SearchScratch {
     /// allocation-free steady state the pool exists for.
     pub fn slots_allocated(&self) -> usize {
         self.allocated
+    }
+
+    /// The trace recorded by the most recent run through this scratch —
+    /// empty unless that run's [`crate::SearchOptions::trace`] enabled
+    /// tracing.
+    pub fn trace(&self) -> &SearchTrace {
+        &self.trace
     }
 
     /// Prepares for a new run: recycles all live slots into the pool and

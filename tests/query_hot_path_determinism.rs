@@ -68,6 +68,53 @@ fn replay_matches_pre_optimization_baselines() {
     }
 }
 
+/// Observability contract (`ci-obs`): tracing is observational only.
+///
+/// The same workload replayed at [`ci_rank::TraceLevel::Off`] and
+/// [`ci_rank::TraceLevel::Full`] must reproduce the pinned
+/// pre-optimization fingerprints bit for bit — trace emission sits inside
+/// the search loop, so any behavioral leak (an extra oracle probe, a
+/// reordered admission) shows up as a changed hash. The disabled path
+/// must also be allocation-free: a session that never traces must never
+/// even allocate the event buffer.
+#[test]
+fn tracing_is_fingerprint_neutral() {
+    use ci_rank::TraceLevel;
+    for (label, kind, data, queries) in cases() {
+        let snap = build(&data.db, kind, 1).unwrap();
+
+        let off = snap.session();
+        let off_fp = workload_fingerprint_reused(&off, &queries);
+        assert_eq!(
+            off_fp,
+            baseline(label),
+            "{label}: TraceLevel::Off replay diverged from the baseline"
+        );
+        let off_trace = off.last_trace();
+        assert_eq!(
+            off_trace.buffer_capacity(),
+            0,
+            "{label}: the Off path allocated a trace buffer"
+        );
+        assert!(off_trace.events().is_empty());
+        assert_eq!(off_trace.dropped(), 0);
+
+        let full = snap.session().with_trace(TraceLevel::Full);
+        let full_fp = workload_fingerprint_reused(&full, &queries);
+        assert_eq!(
+            full_fp,
+            baseline(label),
+            "{label}: TraceLevel::Full changed the replay fingerprint"
+        );
+        let trace = full.last_trace();
+        let counts = trace.counts();
+        assert!(
+            counts.pops > 0 && counts.admits > 0,
+            "{label}: full tracing recorded the run ({counts:?})"
+        );
+    }
+}
+
 #[test]
 fn warm_session_replays_without_allocating() {
     for (label, kind, data, queries) in cases() {
